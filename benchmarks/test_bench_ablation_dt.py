@@ -1,0 +1,52 @@
+"""Appendix G ablation — sensitivity to the decision time slot ``delta_t``.
+
+A larger time slot means fewer, cheaper pool checks but coarser hold /
+dispatch decisions.  The paper chose delta_t = 10 seconds.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import vary_time_slot
+from repro.experiments.reporting import format_sweep_table
+
+from .conftest import WATTER_ALGORITHMS, bench_config
+
+_SLOTS = (5.0, 10.0, 20.0, 30.0)
+
+
+def test_ablation_time_slot_series(benchmark):
+    """Regenerate the time-slot ablation on the CDC-like workload."""
+    base = bench_config("CDC", num_orders=80, num_workers=16)
+    sweep = benchmark.pedantic(
+        lambda: vary_time_slot(
+            "CDC",
+            time_slots=_SLOTS,
+            base_config=base,
+            algorithms=WATTER_ALGORITHMS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=== Appendix G: decision time-slot (delta_t) ablation (CDC) ===")
+    print(format_sweep_table(sweep, "total_extra_time"))
+    print()
+    print(format_sweep_table(sweep, "running_time_per_order"))
+    assert sweep.values() == [float(slot) for slot in _SLOTS]
+    # Fewer checks -> lower running time per order for the pool-based methods.
+    for algorithm in ("WATTER-online", "WATTER-timeout"):
+        times = sweep.series(algorithm, "running_time_per_order")
+        assert times[-1] <= times[0] * 1.5
+
+
+def test_ablation_time_slot_benchmark(benchmark):
+    """Time one WATTER-online run at the default delta_t."""
+    from repro.experiments.runner import run_comparison
+
+    config = bench_config("CDC", num_orders=60, num_workers=14, time_slot=10.0)
+
+    def run():
+        return run_comparison("CDC", config, algorithms=("WATTER-online",))
+
+    metrics = benchmark(run)
+    assert metrics[0].algorithm == "WATTER-online"

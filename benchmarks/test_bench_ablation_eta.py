@@ -1,0 +1,51 @@
+"""Appendix F ablation — sensitivity to the watch-window scale ``eta``.
+
+The watch window bounds how long an order may wait for a partner; the
+paper chose eta = 0.8.  The ablation sweeps eta over {0.4 .. 1.0} for
+the WATTER variants and reports extra time and service rate.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import vary_watch_window
+from repro.experiments.reporting import format_sweep_table
+
+from .conftest import WATTER_ALGORITHMS, bench_config
+
+_ETAS = (0.4, 0.6, 0.8, 1.0)
+
+
+def test_ablation_watch_window_series(benchmark):
+    """Regenerate the watch-window ablation on the CDC-like workload."""
+    base = bench_config("CDC", num_orders=80, num_workers=16)
+    sweep = benchmark.pedantic(
+        lambda: vary_watch_window(
+            "CDC",
+            watch_windows=_ETAS,
+            base_config=base,
+            algorithms=WATTER_ALGORITHMS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=== Appendix F: watch-window (eta) ablation (CDC) ===")
+    print(format_sweep_table(sweep, "total_extra_time"))
+    print()
+    print(format_sweep_table(sweep, "service_rate"))
+    assert sweep.values() == [float(eta) for eta in _ETAS]
+    for algorithm in WATTER_ALGORITHMS:
+        assert len(sweep.series(algorithm, "total_extra_time")) == len(_ETAS)
+
+
+def test_ablation_watch_window_benchmark(benchmark):
+    """Time one WATTER-timeout run at the default eta."""
+    from repro.experiments.runner import run_comparison
+
+    config = bench_config("CDC", num_orders=60, num_workers=14, watch_window_scale=0.8)
+
+    def run():
+        return run_comparison("CDC", config, algorithms=("WATTER-timeout",))
+
+    metrics = benchmark(run)
+    assert metrics[0].algorithm == "WATTER-timeout"

@@ -1,0 +1,63 @@
+"""Figure 3 — performance while varying the number of riders ``n``.
+
+The paper sweeps n over {0.50, 0.75, 1.00, 1.25} x the dataset default
+and reports Extra Time, Unified Cost, Service Rate and Running Time for
+WATTER-expect / WATTER-online / WATTER-timeout / GDP / GAS on NYC, CDC
+and XIA.  This benchmark regenerates the same series (scaled workloads,
+see EXPERIMENTS.md) and prints them as text tables; pytest-benchmark
+times one representative cell so algorithmic slow-downs are caught.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import format_full_sweep_report
+from repro.experiments.runner import run_comparison
+from repro.experiments.sweeps import vary_num_orders
+
+from .conftest import BENCH_ALGORITHMS, bench_config
+
+_FRACTIONS = (0.50, 0.75, 1.00, 1.25)
+
+
+@pytest.mark.parametrize("dataset", ("CDC", "NYC", "XIA"))
+def test_fig3_vary_orders_series(dataset, benchmark):
+    """Regenerate the Figure 3 panels for one dataset."""
+    base = bench_config(dataset, num_orders=100, num_workers=20)
+    sweep = benchmark.pedantic(
+        lambda: vary_num_orders(
+            dataset,
+            fractions=_FRACTIONS,
+            base_config=base,
+            algorithms=BENCH_ALGORITHMS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"=== Figure 3 ({dataset}): varying the number of orders ===")
+    print(format_full_sweep_report(sweep))
+    # Structural checks: every cell of the figure is present.
+    assert sweep.values() == [float(f) for f in _FRACTIONS]
+    assert set(sweep.algorithms()) == set(BENCH_ALGORITHMS)
+    for algorithm in BENCH_ALGORITHMS:
+        assert len(sweep.series(algorithm, "total_extra_time")) == len(_FRACTIONS)
+    # Shape check mirroring the paper: the pooling framework serves at
+    # least as many orders as the non-sharing floor at the default point.
+    expect_rate = sweep.series("WATTER-expect", "service_rate")[2]
+    floor_rate = sweep.series("NonSharing", "service_rate")[2]
+    assert expect_rate >= floor_rate - 0.05
+
+
+def test_fig3_default_cell_benchmark(benchmark):
+    """Time the default-n cell (all algorithms, CDC) for regression tracking."""
+    config = bench_config("CDC", num_orders=60, num_workers=14, horizon=1200.0)
+
+    def run():
+        return run_comparison(
+            "CDC", config, algorithms=("WATTER-online", "GDP", "NonSharing")
+        )
+
+    metrics = benchmark(run)
+    assert len(metrics) == 3

@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make ``src/`` importable even without installation.
+
+The library is normally installed with ``pip install -e .``; this hook
+only exists so the test-suite and the benchmarks also run straight from
+a source checkout (e.g. in offline CI containers where editable installs
+are awkward).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Rush-hour pooling: how demand peaks change the value of waiting.
+
+The motivation of the paper is that during busy periods an order that
+waits a few extra seconds is very likely to find a well-matching partner.
+This example builds an NYC-like workload with a pronounced demand peak,
+runs WATTER-online (answer immediately) and WATTER-expect (wait when the
+expected threshold says so), and reports how much sharing each achieves
+inside versus outside the peak.
+
+Run with:
+
+    python examples/rush_hour_pooling.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import build_expect_provider, default_config
+from repro.datasets.workloads import build_workload
+from repro.experiments.runner import run_on_workload
+
+PEAK_WINDOW = (1800.0, 5400.0)  # the NYC-like preset surges in this interval
+
+
+def share_of_grouped_orders(result, window=None):
+    """Fraction of served orders that rode in a group of two or more."""
+    served = [outcome for outcome in result.collector.outcomes if outcome.served]
+    if window is not None:
+        lo, hi = window
+        served = [
+            outcome
+            for outcome in served
+            if outcome.dispatch_time is not None and lo <= outcome.dispatch_time < hi
+        ]
+    if not served:
+        return 0.0
+    grouped = sum(1 for outcome in served if outcome.group_size >= 2)
+    return grouped / len(served)
+
+
+def main() -> None:
+    config = default_config(
+        "NYC", num_orders=150, num_workers=30, horizon=7200.0, seed=9
+    )
+    print("Generating the NYC-like workload (morning peak at 0:30-1:30)...")
+    workload = build_workload("NYC", config)
+    provider = build_expect_provider("NYC", config)
+
+    print("Running WATTER-online and WATTER-expect over the same orders...")
+    online = run_on_workload("WATTER-online", workload, config)
+    expect = run_on_workload("WATTER-expect", workload, config, provider)
+
+    print()
+    print(f"{'metric':<38}{'WATTER-online':>16}{'WATTER-expect':>16}")
+    print("-" * 70)
+    rows = [
+        ("service rate", online.metrics.service_rate, expect.metrics.service_rate),
+        ("unified cost", online.metrics.unified_cost, expect.metrics.unified_cost),
+        ("total extra time (s)", online.metrics.total_extra_time,
+         expect.metrics.total_extra_time),
+        ("average group size", online.metrics.average_group_size,
+         expect.metrics.average_group_size),
+        ("grouped share (whole day)", share_of_grouped_orders(online),
+         share_of_grouped_orders(expect)),
+        ("grouped share (inside peak)", share_of_grouped_orders(online, PEAK_WINDOW),
+         share_of_grouped_orders(expect, PEAK_WINDOW)),
+    ]
+    for label, a, b in rows:
+        print(f"{label:<38}{a:>16.3f}{b:>16.3f}")
+    print()
+    print(
+        "Waiting pays off most where demand is dense: WATTER-expect groups a\n"
+        "larger share of the peak-hour orders, which is exactly the effect the\n"
+        "paper's introduction motivates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Baseline dispatchers the paper compares WATTER against."""
+
+from .gdp import GDPDispatcher
+from .gas import GASDispatcher
+from .nonsharing import NonSharingDispatcher
+
+__all__ = ["GDPDispatcher", "GASDispatcher", "NonSharingDispatcher"]

@@ -1,0 +1,211 @@
+"""GAS baseline [2]: batch-based grouping with utility maximisation.
+
+GAS buffers the orders released during one batch window (a few seconds),
+then — at the batch boundary — enumerates candidate order groups for the
+available workers, scores each group by its *utility* (the travel time
+saved compared with serving the members individually) and greedily
+commits disjoint groups in decreasing utility order.  Orders that could
+not be grouped or assigned stay buffered for the next batch until their
+deadline makes them unservable.
+
+The exhaustive group enumeration inside each batch is what makes GAS the
+slowest algorithm in the paper's running-time plots; the batch boundary
+is what prevents it from matching orders across batches (Example 1), so
+its extra time and service rate trail the WATTER variants.  Both effects
+are reproduced here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from ..config import SimulationConfig
+from ..model.group import Group
+from ..model.order import Order, OrderStatus
+from ..routing.planner import RoutePlanner
+from ..simulation.dispatcher import (
+    Dispatcher,
+    DispatchResult,
+    served_orders_from_group,
+)
+from ..simulation.fleet import WorkerFleet
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+#: Maximum number of buffered orders entering the combinatorial group
+#: enumeration of one batch (oldest first); singletons are always
+#: considered for every buffered order.
+_ENUMERATION_CAP = 24
+
+
+class GASDispatcher(Dispatcher):
+    """Batch-based grouping and assignment (the GAS baseline)."""
+
+    name = "GAS"
+
+    def __init__(
+        self,
+        planner: RoutePlanner,
+        fleet: WorkerFleet,
+        config: SimulationConfig,
+        batch_size: float | None = None,
+        max_batch_group: int | None = None,
+    ) -> None:
+        self._planner = planner
+        self._fleet = fleet
+        self._config = config
+        self._batch_size = batch_size if batch_size is not None else config.check_period
+        # Pairwise grouping dominates what the additive tree of [2] finds on
+        # sparse batches and keeps the enumeration polynomial; larger values
+        # reproduce the exponential blow-up the paper reports for GAS.
+        self._max_group = max_batch_group or min(config.max_group_size, 2)
+        self._buffer: list[Order] = []
+        self._next_batch_end: float | None = None
+
+    @property
+    def fleet(self) -> WorkerFleet:
+        """The worker fleet assignments are booked against."""
+        return self._fleet
+
+    @property
+    def batch_size(self) -> float:
+        """Width of the batching window in seconds."""
+        return self._batch_size
+
+    # ------------------------------------------------------------------
+    # Dispatcher interface
+    # ------------------------------------------------------------------
+    def submit(self, order: Order, now: float) -> DispatchResult:
+        """Buffer the order until the end of the current batch."""
+        self._buffer.append(order)
+        if self._next_batch_end is None:
+            self._next_batch_end = (
+                (now // self._batch_size) + 1
+            ) * self._batch_size
+        return DispatchResult.empty()
+
+    def tick(self, now: float) -> DispatchResult:
+        """Process the batch if the batch window has elapsed."""
+        if self._next_batch_end is None or now < self._next_batch_end:
+            return self._drop_expired(now)
+        self._next_batch_end = ((now // self._batch_size) + 1) * self._batch_size
+        return self._process_batch(now)
+
+    def flush(self, now: float) -> DispatchResult:
+        """Process one final batch, then reject whatever is left."""
+        result = self._process_batch(now)
+        rejected = tuple(self._buffer)
+        for order in rejected:
+            order.status = OrderStatus.REJECTED
+        self._buffer.clear()
+        return result.merge(DispatchResult(rejected=rejected))
+
+    # ------------------------------------------------------------------
+    # batch processing
+    # ------------------------------------------------------------------
+    def _process_batch(self, now: float) -> DispatchResult:
+        expired = self._drop_expired(now)
+        if not self._buffer:
+            return expired
+        self._fleet.release_finished(now)
+        candidates = self._enumerate_groups(now)
+        candidates.sort(key=lambda item: -item[0])
+        served = []
+        assigned: set[int] = set()
+        for utility, group in candidates:
+            if any(order.order_id in assigned for order in group.orders):
+                continue
+            if utility < 0:
+                continue
+            worker = self._fleet.find_worker_for(group, now)
+            if worker is None:
+                continue
+            self._fleet.assign(worker, group, now)
+            for order in group.orders:
+                order.status = OrderStatus.DISPATCHED
+                assigned.add(order.order_id)
+            served.extend(served_orders_from_group(group, now, worker.worker_id))
+        self._buffer = [
+            order for order in self._buffer if order.order_id not in assigned
+        ]
+        return expired.merge(DispatchResult(served=tuple(served)))
+
+    def _enumerate_groups(self, now: float) -> list[tuple[float, Group]]:
+        """All feasible groups of buffered orders with their utility.
+
+        Utility of a group is the travel time saved against serving each
+        member alone: ``sum_i cost(p_i, d_i) - T(L)``.  Singletons have
+        zero utility and act as the fallback assignment.
+
+        To keep the per-batch cost bounded when unassigned orders
+        accumulate, the combinatorial enumeration considers at most the
+        ``_ENUMERATION_CAP`` oldest buffered orders (the full additive
+        tree of [2] is exponential in the batch size, which is exactly
+        why GAS is the slowest algorithm in the paper's evaluation); a
+        cheap temporal-compatibility filter prunes pairs whose deadlines
+        cannot possibly be combined before the route planner is invoked.
+        """
+        groups: list[tuple[float, Group]] = []
+        buffer = sorted(self._buffer, key=lambda order: order.release_time)
+        window = buffer[:_ENUMERATION_CAP]
+        for order in buffer:
+            planned = self._planner.try_plan([order], self._config.max_capacity, now)
+            if planned is None:
+                continue
+            groups.append(
+                (
+                    0.0,
+                    Group(
+                        orders=(order,),
+                        route=planned.route,
+                        created_at=now,
+                        weights=self._config.weights,
+                    ),
+                )
+            )
+        for size in range(2, self._max_group + 1):
+            for combo in itertools.combinations(window, size):
+                if sum(order.riders for order in combo) > self._config.max_capacity:
+                    continue
+                if not self._temporally_compatible(combo, now):
+                    continue
+                planned = self._planner.try_plan(
+                    list(combo), self._config.max_capacity, now
+                )
+                if planned is None:
+                    continue
+                group = Group(
+                    orders=tuple(combo),
+                    route=planned.route,
+                    created_at=now,
+                    weights=self._config.weights,
+                )
+                individual = sum(order.shortest_time for order in combo)
+                utility = individual - planned.total_travel_time
+                groups.append((utility, group))
+        return groups
+
+    @staticmethod
+    def _temporally_compatible(orders, now: float) -> bool:
+        """Necessary condition for a shared route to exist.
+
+        Every member must still be deliverable even if its own trip were
+        the last leg of the shared route, i.e. its remaining slack must
+        at least cover its direct travel time.  Orders that fail this on
+        their own can never participate in a feasible shared route.
+        """
+        return all(order.deadline - now - order.shortest_time >= 0 for order in orders)
+
+    def _drop_expired(self, now: float) -> DispatchResult:
+        rejected = tuple(order for order in self._buffer if order.is_expired(now))
+        if rejected:
+            for order in rejected:
+                order.status = OrderStatus.REJECTED
+            rejected_ids = {order.order_id for order in rejected}
+            self._buffer = [
+                order for order in self._buffer if order.order_id not in rejected_ids
+            ]
+        return DispatchResult(rejected=rejected)

@@ -1,0 +1,298 @@
+"""GDP baseline [9]: online greedy insertion into worker routes.
+
+GDP answers every order immediately: it scans the fleet, tries to insert
+the new order's pickup and dropoff into each worker's *remaining* route
+at the cheapest feasible positions, and commits the globally cheapest
+insertion.  If no worker admits a feasible insertion the order is
+rejected on the spot.
+
+The reproduction tracks, per worker, a schedule of stops with planned
+arrival times.  When an insertion is evaluated at time ``t`` the stops
+already reached stay fixed, only the remaining suffix is re-planned.
+Because the platform responds instantly, the response time of a GDP
+order is zero and its "extra time" is entirely detour:
+``(scheduled dropoff - release) - shortest trip time``, i.e. everything
+the rider experiences beyond an immediate direct ride.  This matches the
+role GDP plays in the paper's comparison: the fastest algorithm, but the
+one with the longest detours and the lowest service rate under load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..config import SimulationConfig
+from ..model.order import Order, OrderStatus
+from ..model.route import RouteStop, StopKind
+from ..model.worker import Worker
+from ..simulation.dispatcher import Dispatcher, DispatchResult, ServedOrder
+from ..simulation.fleet import WorkerFleet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.graph import RoadNetwork
+
+
+@dataclass
+class _ScheduledStop:
+    """A stop on a worker's live schedule with its planned arrival time."""
+
+    node: int
+    order_id: int
+    kind: StopKind
+    arrival_time: float
+
+
+@dataclass
+class _WorkerPlan:
+    """The live schedule of one worker under GDP."""
+
+    worker: Worker
+    current_node: int
+    available_at: float
+    stops: list[_ScheduledStop] = field(default_factory=list)
+    orders: dict[int, Order] = field(default_factory=dict)
+
+    def progress(self, now: float) -> None:
+        """Advance past the stops whose planned arrival time has passed."""
+        while self.stops and self.stops[0].arrival_time <= now:
+            stop = self.stops.pop(0)
+            self.current_node = stop.node
+            self.available_at = stop.arrival_time
+            if stop.kind is StopKind.DROPOFF:
+                self.orders.pop(stop.order_id, None)
+
+    def onboard_riders(self) -> int:
+        """Riders currently in the vehicle (picked up, not yet dropped)."""
+        pending_pickups = {
+            stop.order_id for stop in self.stops if stop.kind is StopKind.PICKUP
+        }
+        riders = 0
+        for order_id, order in self.orders.items():
+            if order_id not in pending_pickups:
+                riders += order.riders
+        return riders
+
+    def scheduled_travel_time(self, now: float, network: "RoadNetwork") -> float:
+        """Remaining driving time of the current schedule from ``now``."""
+        if not self.stops:
+            return 0.0
+        total = network.travel_time(self.current_node, self.stops[0].node)
+        for previous, current in zip(self.stops, self.stops[1:]):
+            total += network.travel_time(previous.node, current.node)
+        return total
+
+
+@dataclass(frozen=True)
+class _Insertion:
+    """A candidate insertion of one order into one worker's schedule."""
+
+    plan: _WorkerPlan
+    new_stops: list[_ScheduledStop]
+    added_travel_time: float
+    dropoff_time: float
+
+
+class GDPDispatcher(Dispatcher):
+    """Greedy online insertion (the GDP baseline of the paper)."""
+
+    name = "GDP"
+
+    def __init__(
+        self,
+        network: "RoadNetwork",
+        fleet: WorkerFleet,
+        config: SimulationConfig,
+    ) -> None:
+        self._network = network
+        self._fleet = fleet
+        self._config = config
+        self._plans = [
+            _WorkerPlan(worker=worker, current_node=worker.location, available_at=0.0)
+            for worker in fleet
+        ]
+        self._served: list[ServedOrder] = []
+        self._scheduled_dropoffs: dict[int, tuple[Order, float, int]] = {}
+
+    @property
+    def fleet(self) -> WorkerFleet:
+        """The worker fleet (travel time is accounted onto it)."""
+        return self._fleet
+
+    # ------------------------------------------------------------------
+    # Dispatcher interface
+    # ------------------------------------------------------------------
+    def submit(self, order: Order, now: float) -> DispatchResult:
+        """Serve or reject the order immediately (online response)."""
+        for plan in self._plans:
+            plan.progress(now)
+        best = self._best_insertion(order, now)
+        if best is None:
+            order.status = OrderStatus.REJECTED
+            return DispatchResult(rejected=(order,))
+        self._commit(best, order, now)
+        return DispatchResult.empty()
+
+    def tick(self, now: float) -> DispatchResult:
+        """Emit the outcomes of orders whose dropoff has been reached."""
+        for plan in self._plans:
+            plan.progress(now)
+        return self._emit_completed(now)
+
+    def flush(self, now: float) -> DispatchResult:
+        """Emit every remaining scheduled order at the end of the horizon."""
+        return self._emit_completed(float("inf"))
+
+    # ------------------------------------------------------------------
+    # insertion search
+    # ------------------------------------------------------------------
+    def _best_insertion(self, order: Order, now: float) -> _Insertion | None:
+        best: _Insertion | None = None
+        for plan in self._plans:
+            candidate = self._cheapest_insertion_for_plan(plan, order, now)
+            if candidate is None:
+                continue
+            if best is None or candidate.added_travel_time < best.added_travel_time:
+                best = candidate
+        return best
+
+    def _cheapest_insertion_for_plan(
+        self, plan: _WorkerPlan, order: Order, now: float
+    ) -> _Insertion | None:
+        base_stops = plan.stops
+        base_cost = plan.scheduled_travel_time(now, self._network)
+        start_time = max(now, plan.available_at)
+        best: _Insertion | None = None
+        positions = len(base_stops)
+        for pickup_pos in range(positions + 1):
+            for dropoff_pos in range(pickup_pos, positions + 1):
+                stops = self._build_candidate(base_stops, order, pickup_pos, dropoff_pos)
+                timed = self._schedule(stops, plan.current_node, start_time)
+                if timed is None:
+                    continue
+                if not self._respects_constraints(plan, order, timed):
+                    continue
+                new_cost = timed[-1].arrival_time - start_time
+                added = new_cost - base_cost
+                dropoff_time = next(
+                    stop.arrival_time
+                    for stop in timed
+                    if stop.order_id == order.order_id
+                    and stop.kind is StopKind.DROPOFF
+                )
+                if best is None or added < best.added_travel_time:
+                    best = _Insertion(plan, timed, added, dropoff_time)
+        return best
+
+    @staticmethod
+    def _build_candidate(
+        base_stops: list[_ScheduledStop],
+        order: Order,
+        pickup_pos: int,
+        dropoff_pos: int,
+    ) -> list[RouteStop]:
+        stops = [RouteStop(stop.node, stop.order_id, stop.kind) for stop in base_stops]
+        stops.insert(pickup_pos, RouteStop(order.pickup, order.order_id, StopKind.PICKUP))
+        stops.insert(
+            dropoff_pos + 1, RouteStop(order.dropoff, order.order_id, StopKind.DROPOFF)
+        )
+        return stops
+
+    def _schedule(
+        self, stops: list[RouteStop], start_node: int, start_time: float
+    ) -> list[_ScheduledStop] | None:
+        timed = []
+        current_node = start_node
+        current_time = start_time
+        for stop in stops:
+            current_time += self._network.travel_time(current_node, stop.node)
+            current_node = stop.node
+            timed.append(
+                _ScheduledStop(stop.node, stop.order_id, stop.kind, current_time)
+            )
+        return timed
+
+    def _respects_constraints(
+        self, plan: _WorkerPlan, new_order: Order, timed: list[_ScheduledStop]
+    ) -> bool:
+        orders = dict(plan.orders)
+        orders[new_order.order_id] = new_order
+        picked: set[int] = set(
+            order_id
+            for order_id in plan.orders
+            if all(
+                not (s.order_id == order_id and s.kind is StopKind.PICKUP)
+                for s in plan.stops
+            )
+        )
+        riders = plan.onboard_riders()
+        capacity = plan.worker.capacity
+        for stop in timed:
+            order = orders.get(stop.order_id)
+            if order is None:
+                return False
+            if stop.kind is StopKind.PICKUP:
+                if stop.order_id in picked:
+                    return False
+                picked.add(stop.order_id)
+                riders += order.riders
+                if riders > capacity:
+                    return False
+            else:
+                if stop.order_id not in picked:
+                    return False
+                riders -= order.riders
+                if stop.arrival_time > order.deadline:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # commit and completion
+    # ------------------------------------------------------------------
+    def _commit(self, insertion: _Insertion, order: Order, now: float) -> None:
+        plan = insertion.plan
+        plan.stops = insertion.new_stops
+        plan.orders[order.order_id] = order
+        plan.available_at = max(plan.available_at, now)
+        order.status = OrderStatus.DISPATCHED
+        self._fleet.add_travel_time(max(insertion.added_travel_time, 0.0))
+        group_size = len({stop.order_id for stop in insertion.new_stops})
+        self._scheduled_dropoffs[order.order_id] = (
+            order,
+            insertion.dropoff_time,
+            plan.worker.worker_id,
+        )
+        # Update the recorded dropoff times of the other orders riding the
+        # same vehicle: the insertion may have delayed them.
+        for stop in insertion.new_stops:
+            if stop.kind is StopKind.DROPOFF and stop.order_id != order.order_id:
+                entry = self._scheduled_dropoffs.get(stop.order_id)
+                if entry is not None:
+                    self._scheduled_dropoffs[stop.order_id] = (
+                        entry[0],
+                        stop.arrival_time,
+                        entry[2],
+                    )
+        del group_size
+
+    def _emit_completed(self, now: float) -> DispatchResult:
+        served = []
+        for order_id, (order, dropoff_time, worker_id) in list(
+            self._scheduled_dropoffs.items()
+        ):
+            if dropoff_time <= now:
+                detour = max(
+                    (dropoff_time - order.release_time) - order.shortest_time, 0.0
+                )
+                served.append(
+                    ServedOrder(
+                        order=order,
+                        response_time=0.0,
+                        detour_time=detour,
+                        dispatch_time=order.release_time,
+                        worker_id=worker_id,
+                        group_size=1,
+                    )
+                )
+                del self._scheduled_dropoffs[order_id]
+        return DispatchResult(served=tuple(served))

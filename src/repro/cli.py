@@ -1,0 +1,150 @@
+"""Command-line interface for running WATTER experiments.
+
+Three subcommands cover the common workflows:
+
+* ``compare`` — run several algorithms over one generated workload and
+  print the comparison table (the Table III default experiment),
+* ``sweep``   — regenerate one of the paper's figures (vary orders,
+  workers, deadline or capacity) as text tables,
+* ``example1`` — rerun the worked example of the introduction.
+
+The CLI is intentionally a thin veneer over :mod:`repro.experiments` so
+everything it can do is equally reachable from Python.
+
+Usage::
+
+    python -m repro.cli compare --dataset CDC --orders 120 --workers 24
+    python -m repro.cli sweep --figure fig5 --dataset XIA
+    python -m repro.cli example1
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from .experiments.config import default_config
+from .experiments.reporting import format_comparison_table, format_full_sweep_report
+from .experiments.runner import ALGORITHMS, run_comparison
+from .experiments.sweeps import (
+    vary_capacity,
+    vary_deadline,
+    vary_num_orders,
+    vary_num_workers,
+)
+from .experiments.worked_example import run_worked_example
+
+_FIGURES = {
+    "fig3": vary_num_orders,
+    "fig4": vary_num_workers,
+    "fig5": vary_deadline,
+    "fig6": vary_capacity,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the WATTER ridesharing framework (ICDE 2024)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compare = subparsers.add_parser(
+        "compare", help="run several algorithms over one workload"
+    )
+    _add_workload_arguments(compare)
+    compare.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=list(ALGORITHMS),
+        choices=list(ALGORITHMS),
+        help="algorithms to compare (default: all)",
+    )
+    compare.add_argument(
+        "--use-rl",
+        action="store_true",
+        help="train the RL value function for WATTER-expect instead of the GMM fit",
+    )
+
+    sweep = subparsers.add_parser("sweep", help="regenerate one figure of the paper")
+    _add_workload_arguments(sweep)
+    sweep.add_argument(
+        "--figure",
+        choices=sorted(_FIGURES),
+        default="fig3",
+        help="which figure to regenerate",
+    )
+    sweep.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["WATTER-expect", "WATTER-online", "WATTER-timeout", "GDP", "GAS"],
+        choices=list(ALGORITHMS),
+        help="algorithms included in the sweep",
+    )
+
+    subparsers.add_parser("example1", help="rerun the worked example of Section I")
+    return parser
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="CDC", choices=["NYC", "CDC", "XIA"])
+    parser.add_argument("--orders", type=int, default=None, help="number of orders")
+    parser.add_argument("--workers", type=int, default=None, help="number of workers")
+    parser.add_argument("--horizon", type=float, default=None, help="horizon (s)")
+    parser.add_argument("--seed", type=int, default=None, help="random seed")
+
+
+def _config_from_args(args: argparse.Namespace):
+    overrides = {}
+    if args.orders is not None:
+        overrides["num_orders"] = args.orders
+    if args.workers is not None:
+        overrides["num_workers"] = args.workers
+    if args.horizon is not None:
+        overrides["horizon"] = args.horizon
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return default_config(args.dataset, **overrides)
+
+
+def _run_compare(args: argparse.Namespace) -> str:
+    config = _config_from_args(args)
+    metrics = run_comparison(
+        args.dataset, config, algorithms=args.algorithms, use_rl=args.use_rl
+    )
+    title = f"Algorithm comparison ({args.dataset}, n={config.num_orders}, m={config.num_workers})"
+    return format_comparison_table(metrics, title=title)
+
+
+def _run_sweep(args: argparse.Namespace) -> str:
+    config = _config_from_args(args)
+    sweep_fn = _FIGURES[args.figure]
+    sweep = sweep_fn(args.dataset, base_config=config, algorithms=args.algorithms)
+    header = f"=== {args.figure}: {sweep.parameter} sweep on {args.dataset} ==="
+    return header + "\n" + format_full_sweep_report(sweep)
+
+
+def _run_example1() -> str:
+    result = run_worked_example()
+    lines = ["Example 1 (Figure 1 network, Table I orders)"]
+    for name, total in result.as_dict().items():
+        lines.append(f"  {name:<28} total worker travel time = {total:7.1f} s")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "compare":
+        output = _run_compare(args)
+    elif args.command == "sweep":
+        output = _run_sweep(args)
+    else:
+        output = _run_example1()
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""The WATTER framework: pooling, grouping strategies, thresholds, MDP state."""
+
+from .shareability import TemporalShareabilityGraph, ShareabilityEdge
+from .pool import OrderPool, PoolDecision
+from .strategies import (
+    DispatchStrategy,
+    OnlineStrategy,
+    TimeoutStrategy,
+    ThresholdStrategy,
+    ThresholdProvider,
+    ConstantThresholdProvider,
+)
+from .gmm import GaussianMixture
+from .threshold import ThresholdOptimizer, fit_extra_time_distribution
+from .state import StateEncoder, SpatioTemporalState
+from .watter import WatterDispatcher
+
+__all__ = [
+    "TemporalShareabilityGraph",
+    "ShareabilityEdge",
+    "OrderPool",
+    "PoolDecision",
+    "DispatchStrategy",
+    "OnlineStrategy",
+    "TimeoutStrategy",
+    "ThresholdStrategy",
+    "ThresholdProvider",
+    "ConstantThresholdProvider",
+    "GaussianMixture",
+    "ThresholdOptimizer",
+    "fit_extra_time_distribution",
+    "StateEncoder",
+    "SpatioTemporalState",
+    "WatterDispatcher",
+]

@@ -1,0 +1,241 @@
+"""The order pooling management algorithm (Algorithm 1).
+
+``OrderPool`` owns the temporal shareability graph and drives its
+lifecycle: new orders are inserted as they arrive; expired edges and
+groups are pruned; on every periodic check each pooled order's best
+group is fetched (O(1), the graph maintains it) and handed to the
+dispatch strategy which decides to dispatch or hold; orders whose watch
+window elapsed without any feasible group are rejected.
+
+The pool does not know about workers — it emits :class:`PoolDecision`
+records and the simulator (or the WATTER dispatcher) performs the
+worker assignment, which is how the paper separates Algorithm 1 from
+the assignment step (line 11: "assign the g to a worker to serve").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, TYPE_CHECKING
+
+from ..exceptions import MissingOrderError
+from ..model.group import Group
+from ..model.order import Order
+from .shareability import TemporalShareabilityGraph
+from .strategies import DispatchStrategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..routing.planner import RoutePlanner
+
+
+#: Fraction of an order's direct travel time reserved as slack for the
+#: assigned worker's approach leg when deciding how long an unpaired order
+#: may keep waiting for a partner.
+_APPROACH_RESERVE = 0.3
+
+
+@dataclass(frozen=True)
+class PoolDecision:
+    """Outcome of one periodic check for one order.
+
+    Exactly one of the three flags is set:
+
+    * ``dispatch`` — the order's best group should be assigned to a
+      worker now (the group is attached),
+    * ``reject`` — the order exceeded its wait limit without a usable
+      group and leaves the pool unserved,
+    * ``hold`` — the order stays in the pool.
+    """
+
+    order_id: int
+    dispatch: bool = False
+    reject: bool = False
+    hold: bool = False
+    group: Group | None = None
+
+
+@dataclass
+class PoolStatistics:
+    """Counters describing the pool's activity, reported by experiments."""
+
+    inserted: int = 0
+    dispatched: int = 0
+    rejected: int = 0
+    expired_edges: int = 0
+    checks: int = 0
+    held: int = 0
+    group_size_histogram: dict[int, int] = field(default_factory=dict)
+
+    def record_group(self, size: int) -> None:
+        """Register a dispatched group of the given size."""
+        self.group_size_histogram[size] = self.group_size_histogram.get(size, 0) + 1
+
+
+class OrderPool:
+    """Algorithm 1: maintain waiting orders and decide when to release them.
+
+    Parameters
+    ----------
+    planner:
+        Route planner shared with the shareability graph.
+    strategy:
+        The hold-or-dispatch decision rule (Algorithm 2 or a variant).
+    capacity:
+        Fleet maximum capacity used for shareability tests.
+    max_group_size:
+        Largest clique size considered when building groups.
+    weights:
+        Extra-time trade-off coefficients.
+    """
+
+    def __init__(
+        self,
+        planner: "RoutePlanner",
+        strategy: DispatchStrategy,
+        capacity: int = 4,
+        max_group_size: int = 4,
+        weights=None,
+        check_period: float = 10.0,
+    ) -> None:
+        self._graph = TemporalShareabilityGraph(
+            planner, capacity=capacity, max_group_size=max_group_size, weights=weights
+        )
+        self._strategy = strategy
+        self._check_period = check_period
+        self._stats = PoolStatistics()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> TemporalShareabilityGraph:
+        """The underlying temporal shareability graph."""
+        return self._graph
+
+    @property
+    def strategy(self) -> DispatchStrategy:
+        """The dispatch strategy consulted on every check."""
+        return self._strategy
+
+    @property
+    def statistics(self) -> PoolStatistics:
+        """Activity counters accumulated so far."""
+        return self._stats
+
+    def __len__(self) -> int:
+        return len(self._graph)
+
+    def __contains__(self, order_id: int) -> bool:
+        return order_id in self._graph
+
+    def pending_orders(self) -> Iterator[Order]:
+        """Iterate over the orders currently waiting in the pool."""
+        return self._graph.orders()
+
+    def best_group(self, order_id: int) -> Group | None:
+        """The order's current best group (``Gb[i]``)."""
+        return self._graph.best_group(order_id)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def insert(self, order: Order, now: float) -> None:
+        """Lines 2-4: insert a newly released order into the pool."""
+        self._graph.insert_order(order, now)
+        self._stats.inserted += 1
+
+    def prune_expired(self, now: float) -> int:
+        """Lines 5-6: drop edges (and thereby groups) that expired by ``now``."""
+        expired = self._graph.expire_edges(now)
+        self._stats.expired_edges += len(expired)
+        return len(expired)
+
+    def check(self, now: float, can_assign=None) -> list[PoolDecision]:
+        """Lines 7-16: the asynchronous periodic check over all pooled orders.
+
+        Returns one decision per order that leaves the pool (dispatch or
+        reject) plus hold decisions for the rest.  Orders dispatched as
+        part of another order's group are not re-examined.
+
+        Parameters
+        ----------
+        now:
+            Current system timestamp.
+        can_assign:
+            Optional callable ``(group, now) -> bool``.  When provided, a
+            group the strategy wants to dispatch is only released if the
+            callable confirms a suitable worker exists (Algorithm 1
+            line 11); otherwise the member orders keep waiting.
+        """
+        self._stats.checks += 1
+        self.prune_expired(now)
+        decisions: list[PoolDecision] = []
+        processed: set[int] = set()
+        for order in list(self._graph.orders()):
+            order_id = order.order_id
+            if order_id in processed or order_id not in self._graph:
+                continue
+            group = self._graph.best_group(order_id)
+            wants_dispatch = group is not None and self._strategy.should_dispatch(
+                group, now
+            )
+            if wants_dispatch and can_assign is not None:
+                wants_dispatch = bool(can_assign(group, now))
+            # An unpaired order is dispatched alone once waiting longer stops
+            # being useful: either its watch window elapsed, or its remaining
+            # slack is down to the safety margin that must be kept for the
+            # worker's approach leg (waiting further would turn a servable
+            # order into a rejection).
+            safety_margin = self._check_period + _APPROACH_RESERVE * order.shortest_time
+            dispatch_alone_now = (
+                self._strategy.dispatches_unpaired_immediately
+                or now >= order.timeout_time
+                or order.slack_at(now) < safety_margin
+            )
+            if not wants_dispatch and group is None and dispatch_alone_now:
+                # The order has no shareable partner and either its watch
+                # window elapsed or waiting one more check would make even a
+                # solo ride miss its deadline: dispatch it alone if a worker
+                # can still serve it ("served when there are suitable
+                # workers"), otherwise it keeps waiting until its deadline
+                # makes rejection final.
+                singleton = self._graph.singleton_group(order_id, now)
+                if singleton is not None and (
+                    can_assign is None or can_assign(singleton, now)
+                ):
+                    group = singleton
+                    wants_dispatch = True
+            if wants_dispatch and group is not None:
+                member_ids = list(group.order_ids())
+                self._graph.remove_orders(member_ids, now)
+                processed.update(member_ids)
+                self._stats.dispatched += len(member_ids)
+                self._stats.record_group(len(member_ids))
+                decisions.append(
+                    PoolDecision(order_id=order_id, dispatch=True, group=group)
+                )
+            elif order.is_expired(now):
+                # Even dispatching alone right now would miss the deadline.
+                self._graph.remove_order(order_id, now)
+                processed.add(order_id)
+                self._stats.rejected += 1
+                decisions.append(PoolDecision(order_id=order_id, reject=True))
+            else:
+                self._stats.held += 1
+                decisions.append(PoolDecision(order_id=order_id, hold=True))
+        return decisions
+
+    def remove(self, order_id: int, now: float) -> Order:
+        """Force-remove an order (used when an assignment fails downstream)."""
+        if order_id not in self._graph:
+            raise MissingOrderError(order_id)
+        return self._graph.remove_order(order_id, now)
+
+    def flush(self, now: float) -> list[PoolDecision]:
+        """Reject every remaining order (end-of-horizon cleanup)."""
+        decisions = []
+        for order in list(self._graph.orders()):
+            self._graph.remove_order(order.order_id, now)
+            self._stats.rejected += 1
+            decisions.append(PoolDecision(order_id=order.order_id, reject=True))
+        return decisions

@@ -1,0 +1,28 @@
+"""Workload substrate: synthetic city demand models and I/O."""
+
+from .synthetic import CityModel, DemandHotspot, Workload
+from .workloads import (
+    build_workload,
+    nyc_like_city,
+    cdc_like_city,
+    xia_like_city,
+    city_by_name,
+    DATASET_NAMES,
+)
+from .io import orders_to_csv, orders_from_csv, workers_to_csv, workers_from_csv
+
+__all__ = [
+    "CityModel",
+    "DemandHotspot",
+    "Workload",
+    "build_workload",
+    "nyc_like_city",
+    "cdc_like_city",
+    "xia_like_city",
+    "city_by_name",
+    "DATASET_NAMES",
+    "orders_to_csv",
+    "orders_from_csv",
+    "workers_to_csv",
+    "workers_from_csv",
+]

@@ -1,0 +1,143 @@
+"""CSV import / export of workloads.
+
+The paper's real order logs come as CSV files with pickup / dropoff
+coordinates and release timestamps.  These helpers let a user of the
+library round-trip workloads in a similarly simple format so a real
+dataset (if available) can be mapped onto a road network and fed to the
+same simulators the synthetic workloads use.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from ..config import SimulationConfig
+from ..exceptions import DatasetError
+from ..model.order import Order
+from ..model.worker import Worker
+from ..network.graph import RoadNetwork
+
+_ORDER_FIELDS = (
+    "order_id",
+    "pickup",
+    "dropoff",
+    "release_time",
+    "shortest_time",
+    "deadline",
+    "wait_limit",
+    "riders",
+)
+
+_WORKER_FIELDS = ("worker_id", "location", "capacity")
+
+
+def orders_to_csv(orders: Iterable[Order], path: str | Path) -> None:
+    """Write orders to a CSV file with one row per order."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_ORDER_FIELDS)
+        for order in orders:
+            writer.writerow(
+                [
+                    order.order_id,
+                    order.pickup,
+                    order.dropoff,
+                    order.release_time,
+                    order.shortest_time,
+                    order.deadline,
+                    order.wait_limit,
+                    order.riders,
+                ]
+            )
+
+
+def orders_from_csv(path: str | Path) -> list[Order]:
+    """Read orders previously written by :func:`orders_to_csv`."""
+    orders = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_ORDER_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise DatasetError(f"order CSV is missing columns: {sorted(missing)}")
+        for row in reader:
+            orders.append(
+                Order(
+                    order_id=int(row["order_id"]),
+                    pickup=int(row["pickup"]),
+                    dropoff=int(row["dropoff"]),
+                    release_time=float(row["release_time"]),
+                    shortest_time=float(row["shortest_time"]),
+                    deadline=float(row["deadline"]),
+                    wait_limit=float(row["wait_limit"]),
+                    riders=int(row["riders"]),
+                )
+            )
+    orders.sort(key=lambda order: order.release_time)
+    return orders
+
+
+def workers_to_csv(workers: Iterable[Worker], path: str | Path) -> None:
+    """Write workers to a CSV file with one row per worker."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_WORKER_FIELDS)
+        for worker in workers:
+            writer.writerow([worker.worker_id, worker.location, worker.capacity])
+
+
+def workers_from_csv(path: str | Path) -> list[Worker]:
+    """Read workers previously written by :func:`workers_to_csv`."""
+    workers = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_WORKER_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise DatasetError(f"worker CSV is missing columns: {sorted(missing)}")
+        for row in reader:
+            workers.append(
+                Worker(
+                    worker_id=int(row["worker_id"]),
+                    location=int(row["location"]),
+                    capacity=int(row["capacity"]),
+                )
+            )
+    return workers
+
+
+def raw_trips_to_orders(
+    rows: Iterable[dict],
+    network: RoadNetwork,
+    config: SimulationConfig,
+) -> list[Order]:
+    """Convert raw trip records (coordinates + timestamp) into orders.
+
+    Each row needs ``pickup_x``, ``pickup_y``, ``dropoff_x``,
+    ``dropoff_y`` and ``release_time`` keys.  Coordinates are snapped to
+    the nearest network node; deadlines and wait limits follow the
+    paper's setup (``tau * cost`` and ``eta * cost``).  Rows whose snap
+    produces an identical pickup/dropoff node or an unreachable pair are
+    skipped.
+    """
+    orders = []
+    for row in rows:
+        pickup = network.nearest_node(float(row["pickup_x"]), float(row["pickup_y"]))
+        dropoff = network.nearest_node(float(row["dropoff_x"]), float(row["dropoff_y"]))
+        if pickup == dropoff or not network.is_reachable(pickup, dropoff):
+            continue
+        release = float(row["release_time"])
+        shortest = network.travel_time(pickup, dropoff)
+        orders.append(
+            Order(
+                pickup=pickup,
+                dropoff=dropoff,
+                release_time=release,
+                shortest_time=shortest,
+                deadline=release + config.deadline_scale * shortest,
+                wait_limit=config.watch_window_scale * shortest,
+                riders=int(row.get("riders", 1)),
+            )
+        )
+    orders.sort(key=lambda order: order.release_time)
+    return orders

@@ -1,0 +1,94 @@
+"""Plain-text reporting of sweep and comparison results.
+
+The paper presents its evaluation as line plots (Figures 3-6).  The
+reproduction prints the same data as text tables: one table per metric,
+one column per swept parameter value, one row per algorithm.  The
+benchmark harness calls these formatters so the regenerated "figures"
+appear directly in the benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..simulation.metrics import SimulationMetrics
+from .sweeps import SweepResult
+
+#: metric attribute -> human-readable column header
+METRIC_LABELS = {
+    "total_extra_time": "Extra Time (s)",
+    "unified_cost": "Unified Cost",
+    "service_rate": "Service Rate",
+    "running_time_per_order": "Running Time (s/order)",
+}
+
+
+def _format_value(metric: str, value: float) -> str:
+    if metric == "service_rate":
+        return f"{value:.3f}"
+    if metric == "running_time_per_order":
+        return f"{value:.2e}"
+    return f"{value:.1f}"
+
+
+def format_sweep_table(
+    sweep: SweepResult,
+    metric: str,
+    title: str | None = None,
+) -> str:
+    """Render one metric of a sweep as an aligned text table."""
+    if metric not in METRIC_LABELS:
+        raise KeyError(
+            f"unknown metric {metric!r}; expected one of {sorted(METRIC_LABELS)}"
+        )
+    values = sweep.values()
+    algorithms = sweep.algorithms()
+    header = title or (
+        f"{METRIC_LABELS[metric]} vs {sweep.parameter} ({sweep.dataset})"
+    )
+    column_headers = ["algorithm"] + [f"{value:g}" for value in values]
+    rows = [column_headers]
+    for algorithm in algorithms:
+        series = sweep.series(algorithm, metric)
+        rows.append(
+            [algorithm] + [_format_value(metric, value) for value in series]
+        )
+    widths = [
+        max(len(row[index]) for row in rows) for index in range(len(column_headers))
+    ]
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_full_sweep_report(sweep: SweepResult) -> str:
+    """All four paper metrics of one sweep, stacked."""
+    sections = [
+        format_sweep_table(sweep, metric) for metric in METRIC_LABELS
+    ]
+    return "\n\n".join(sections)
+
+
+def format_comparison_table(
+    metrics_list: Sequence[SimulationMetrics], title: str = "Algorithm comparison"
+) -> str:
+    """Render one run per algorithm as a single comparison table."""
+    columns = [
+        ("algorithm", lambda m: m.algorithm),
+        ("extra time", lambda m: f"{m.total_extra_time:.1f}"),
+        ("unified cost", lambda m: f"{m.unified_cost:.1f}"),
+        ("service rate", lambda m: f"{m.service_rate:.3f}"),
+        ("avg group", lambda m: f"{m.average_group_size:.2f}"),
+        ("run time/order", lambda m: f"{m.running_time_per_order:.2e}"),
+    ]
+    rows = [[header for header, _ in columns]]
+    for metrics in metrics_list:
+        rows.append([extractor(metrics) for _, extractor in columns])
+    widths = [max(len(row[index]) for row in rows) for index in range(len(columns))]
+    lines = [title, "-" * len(title)]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)

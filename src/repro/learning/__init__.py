@@ -1,0 +1,17 @@
+"""Offline reinforcement-learning estimation of the expected threshold."""
+
+from .mlp import MLP
+from .replay import ReplayMemory, Transition
+from .value_function import ValueNetwork, ValueThresholdProvider
+from .trainer import ValueFunctionTrainer, TrainingReport, generate_experience
+
+__all__ = [
+    "MLP",
+    "ReplayMemory",
+    "Transition",
+    "ValueNetwork",
+    "ValueThresholdProvider",
+    "ValueFunctionTrainer",
+    "TrainingReport",
+    "generate_experience",
+]

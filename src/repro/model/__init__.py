@@ -1,0 +1,18 @@
+"""Domain entities: orders, workers, groups, routes."""
+
+from .order import Order, OrderStatus, OrderOutcome
+from .worker import Worker, WorkerStatus
+from .group import Group
+from .route import Route, RouteStop, StopKind
+
+__all__ = [
+    "Order",
+    "OrderStatus",
+    "OrderOutcome",
+    "Worker",
+    "WorkerStatus",
+    "Group",
+    "Route",
+    "RouteStop",
+    "StopKind",
+]

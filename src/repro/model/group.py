@@ -1,0 +1,148 @@
+"""Order group entity with extra-time accounting.
+
+A group ``g = {o_1 ... o_k}`` bundles orders that can share a feasible
+route.  The group keeps the route that realises the smallest total
+travel cost for its members plus the group expiration time ``tau_g``
+(Equation 3), and can compute the average extra time its members would
+incur if the group were dispatched *now* — the quantity Algorithm 2
+compares against the average expected threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from ..config import ExtraTimeWeights
+from ..exceptions import RoutingError
+
+if TYPE_CHECKING:  # pragma: no cover - type-checking only
+    from .order import Order
+    from .route import Route
+
+
+@dataclass
+class Group:
+    """A shareable order group together with its best feasible route.
+
+    Attributes
+    ----------
+    orders:
+        The member orders (at least one).
+    route:
+        A feasible route serving all members.
+    created_at:
+        Timestamp at which the group was formed (used for bookkeeping,
+        not for cost computation).
+    """
+
+    orders: tuple["Order", ...]
+    route: "Route"
+    created_at: float = 0.0
+    weights: ExtraTimeWeights = field(default_factory=ExtraTimeWeights)
+
+    def __post_init__(self) -> None:
+        if not self.orders:
+            raise RoutingError("a group needs at least one order")
+        route_orders = set(self.route.order_ids())
+        member_ids = {order.order_id for order in self.orders}
+        if route_orders != member_ids:
+            raise RoutingError(
+                "route orders and group members disagree: "
+                f"route={sorted(route_orders)} members={sorted(member_ids)}"
+            )
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.orders)
+
+    def order_ids(self) -> frozenset[int]:
+        """Member order ids as a frozen set (usable as a dict key)."""
+        return frozenset(order.order_id for order in self.orders)
+
+    def total_riders(self) -> int:
+        """Total riders across all member orders."""
+        return sum(order.riders for order in self.orders)
+
+    def contains(self, order_id: int) -> bool:
+        """Whether the group includes the given order."""
+        return any(order.order_id == order_id for order in self.orders)
+
+    # ------------------------------------------------------------------
+    # time accounting
+    # ------------------------------------------------------------------
+    def response_time(self, order: "Order", dispatch_time: float) -> float:
+        """Definition 4: waiting time from release to dispatch notification."""
+        return max(dispatch_time - order.release_time, 0.0)
+
+    def detour_time(self, order: "Order") -> float:
+        """Definition 5 for one member order."""
+        return self.route.detour_time(order)
+
+    def extra_time(self, order: "Order", dispatch_time: float) -> float:
+        """Definition 6: ``alpha * t_d + beta * t_r`` for one member."""
+        return (
+            self.weights.alpha * self.detour_time(order)
+            + self.weights.beta * self.response_time(order, dispatch_time)
+        )
+
+    def average_extra_time(self, dispatch_time: float) -> float:
+        """Mean extra time over the members if dispatched at ``dispatch_time``."""
+        total = sum(self.extra_time(order, dispatch_time) for order in self.orders)
+        return total / len(self.orders)
+
+    def total_extra_time(self, dispatch_time: float) -> float:
+        """Sum of member extra times if dispatched at ``dispatch_time``."""
+        return sum(self.extra_time(order, dispatch_time) for order in self.orders)
+
+    def expiration_time(self, dispatch_time: float) -> float:
+        """Equation 3: ``tau_g = min_i (tau_i - t_i - T(L^{(i)}) - t_r^{(i)})``.
+
+        Expressed as an *absolute* timestamp: the latest time at which
+        the group's route can still start (at its first stop) without
+        violating any member's deadline.
+        """
+        latest_start = min(
+            order.deadline - self.route.sub_route_time(order.order_id)
+            for order in self.orders
+        )
+        return latest_start
+
+    def earliest_timeout(self) -> float:
+        """The earliest watch-window expiry among the members (Alg. 2, line 1)."""
+        return min(order.timeout_time for order in self.orders)
+
+    def is_feasible_at(self, start_time: float) -> bool:
+        """Whether starting the route at ``start_time`` meets every deadline."""
+        return start_time <= self.expiration_time(start_time)
+
+    # ------------------------------------------------------------------
+    # comparison helpers for best-group maintenance
+    # ------------------------------------------------------------------
+    def quality_key(self, dispatch_time: float) -> tuple[float, int]:
+        """Sort key used to pick the *best* group of an order.
+
+        Smaller average extra time is better; ties are broken towards
+        larger groups (more sharing for the same rider cost).
+        """
+        return (self.average_extra_time(dispatch_time), -len(self.orders))
+
+    @staticmethod
+    def better_of(
+        first: "Group | None", second: "Group | None", dispatch_time: float
+    ) -> "Group | None":
+        """Return the better of two optional groups at ``dispatch_time``."""
+        if first is None:
+            return second
+        if second is None:
+            return first
+        if second.quality_key(dispatch_time) < first.quality_key(dispatch_time):
+            return second
+        return first
+
+
+def orders_by_id(orders: Iterable["Order"]) -> dict[int, "Order"]:
+    """Index a collection of orders by their id."""
+    return {order.order_id: order for order in orders}

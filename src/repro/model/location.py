@@ -1,0 +1,30 @@
+"""Lightweight location value object.
+
+Most of the library works directly with road-network node ids, but the
+dataset generators and the I/O layer need to carry coordinates alongside
+the node id (e.g. when exporting a workload to CSV).  ``Location`` keeps
+the two together without forcing every call site to look coordinates up
+again.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Location:
+    """A road-network node together with its planar coordinates."""
+
+    node: int
+    x: float
+    y: float
+
+    def euclidean_distance(self, other: "Location") -> float:
+        """Straight-line distance to another location (coordinate units)."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> tuple[int, float, float]:
+        """Return ``(node, x, y)``, convenient for CSV writers."""
+        return (self.node, self.x, self.y)

@@ -1,0 +1,107 @@
+"""Worker (vehicle) entity of Definition 2.
+
+A worker ``w(j) = <l, k, a>`` has a current location, a capacity and an
+availability flag.  In the paper a worker serves exactly one order group
+at a time (Definition 2), so the simulator models the busy period as an
+interval ``[busy_from, busy_until]`` during which the worker drives the
+group's route and then becomes idle at the route's final stop.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from ..exceptions import ConfigurationError
+
+_worker_counter = itertools.count()
+
+
+def _next_worker_id() -> int:
+    return next(_worker_counter)
+
+
+class WorkerStatus(enum.Enum):
+    """Availability states of a worker."""
+
+    IDLE = "idle"
+    BUSY = "busy"
+
+
+@dataclass
+class Worker:
+    """A vehicle that can serve one order group at a time.
+
+    Attributes
+    ----------
+    location:
+        Current road-network node.  While busy this is the node the
+        worker will occupy when it becomes idle again (the last stop of
+        the assigned route).
+    capacity:
+        Maximum number of riders on board at any moment.
+    worker_id:
+        Unique identifier; auto-assigned if not provided.
+    """
+
+    location: int
+    capacity: int
+    worker_id: int = field(default_factory=_next_worker_id)
+    status: WorkerStatus = WorkerStatus.IDLE
+    busy_until: float = 0.0
+    served_groups: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigurationError("worker capacity must be at least 1")
+
+    @property
+    def is_idle(self) -> bool:
+        """Whether the worker can accept a new order group right now."""
+        return self.status is WorkerStatus.IDLE
+
+    def assign(self, end_location: int, finish_time: float) -> None:
+        """Mark the worker busy until ``finish_time`` ending at ``end_location``.
+
+        Raises
+        ------
+        ConfigurationError
+            If the worker is already busy; the paper's model never
+            assigns a second group to a busy worker.
+        """
+        if not self.is_idle:
+            raise ConfigurationError(
+                f"worker {self.worker_id} is busy until {self.busy_until}"
+            )
+        self.status = WorkerStatus.BUSY
+        self.busy_until = finish_time
+        self.location = end_location
+        self.served_groups += 1
+
+    def release_if_done(self, now: float) -> bool:
+        """Return the worker to the idle pool once its route has finished."""
+        if self.status is WorkerStatus.BUSY and now >= self.busy_until:
+            self.status = WorkerStatus.IDLE
+            return True
+        return False
+
+    def clone(self) -> "Worker":
+        """A fresh idle copy of this worker (same id, location, capacity).
+
+        Experiment sweeps run several algorithms over the same workload;
+        cloning the fleet per run keeps the runs independent.
+        """
+        return Worker(
+            location=self.location,
+            capacity=self.capacity,
+            worker_id=self.worker_id,
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.worker_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Worker):
+            return NotImplemented
+        return self.worker_id == other.worker_id

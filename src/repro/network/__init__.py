@@ -1,0 +1,19 @@
+"""Road-network substrate: graphs, shortest paths, spatial indexing."""
+
+from .graph import RoadNetwork
+from .grid import GridIndex
+from .generators import (
+    grid_city,
+    manhattan_like_city,
+    radial_city,
+    example_network,
+)
+
+__all__ = [
+    "RoadNetwork",
+    "GridIndex",
+    "grid_city",
+    "manhattan_like_city",
+    "radial_city",
+    "example_network",
+]

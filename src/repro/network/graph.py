@@ -1,0 +1,202 @@
+"""Road network graph with travel-time shortest-path queries.
+
+The WATTER algorithms only ever ask two questions of the road network:
+
+* ``cost(a, b)`` — the shortest travel time between two locations
+  (Definition 3 uses it to price every leg of a route), and
+* node coordinates — used by the spatial grid index and the MDP state
+  featurisation.
+
+``RoadNetwork`` wraps a :class:`networkx.DiGraph` and answers both with
+aggressive caching: every Dijkstra run from a source is stored so later
+queries from the same source are dictionary lookups.  Workloads query
+costs for a comparatively small set of pickup/dropoff nodes over and
+over, which makes the per-source cache very effective.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+import networkx as nx
+
+from ..exceptions import NetworkError, UnknownNodeError, UnreachableError
+
+
+class RoadNetwork:
+    """A directed, travel-time-weighted road network.
+
+    Parameters
+    ----------
+    graph:
+        A ``networkx.DiGraph`` whose edges carry a ``travel_time``
+        attribute (seconds) and whose nodes carry ``x``/``y``
+        coordinates.  Undirected graphs are accepted and converted.
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        if graph.number_of_nodes() == 0:
+            raise NetworkError("a road network needs at least one node")
+        directed = graph.to_directed() if not graph.is_directed() else graph
+        for u, v, data in directed.edges(data=True):
+            if "travel_time" not in data:
+                raise NetworkError(
+                    f"edge ({u!r}, {v!r}) is missing the 'travel_time' attribute"
+                )
+            if data["travel_time"] < 0:
+                raise NetworkError(
+                    f"edge ({u!r}, {v!r}) has negative travel time"
+                )
+        for node, data in directed.nodes(data=True):
+            if "x" not in data or "y" not in data:
+                raise NetworkError(f"node {node!r} is missing x/y coordinates")
+        self._graph = directed
+        self._sssp_cache: dict[int, dict[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying directed graph (treat as read-only)."""
+        return self._graph
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._graph
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over node ids."""
+        return iter(self._graph.nodes)
+
+    def number_of_edges(self) -> int:
+        """Number of directed edges."""
+        return self._graph.number_of_edges()
+
+    def coordinates(self, node_id: int) -> tuple[float, float]:
+        """Return the ``(x, y)`` coordinates of a node."""
+        self._require_node(node_id)
+        data = self._graph.nodes[node_id]
+        return float(data["x"]), float(data["y"])
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """Return ``(min_x, min_y, max_x, max_y)`` over all nodes."""
+        xs = [float(d["x"]) for _, d in self._graph.nodes(data=True)]
+        ys = [float(d["y"]) for _, d in self._graph.nodes(data=True)]
+        return min(xs), min(ys), max(xs), max(ys)
+
+    # ------------------------------------------------------------------
+    # shortest paths
+    # ------------------------------------------------------------------
+    def travel_time(self, source: int, target: int) -> float:
+        """Shortest travel time (seconds) from ``source`` to ``target``.
+
+        Raises
+        ------
+        UnknownNodeError
+            If either endpoint is not part of the network.
+        UnreachableError
+            If the target cannot be reached from the source.
+        """
+        self._require_node(source)
+        self._require_node(target)
+        if source == target:
+            return 0.0
+        distances = self._distances_from(source)
+        if target not in distances:
+            raise UnreachableError(source, target)
+        return distances[target]
+
+    def travel_times_from(self, source: int) -> Mapping[int, float]:
+        """All shortest travel times from ``source`` (cached)."""
+        self._require_node(source)
+        return self._distances_from(source)
+
+    def shortest_path(self, source: int, target: int) -> list[int]:
+        """Return the node sequence of a shortest path."""
+        self._require_node(source)
+        self._require_node(target)
+        try:
+            return nx.dijkstra_path(
+                self._graph, source, target, weight="travel_time"
+            )
+        except nx.NetworkXNoPath as exc:
+            raise UnreachableError(source, target) from exc
+
+    def is_reachable(self, source: int, target: int) -> bool:
+        """Whether a path exists from ``source`` to ``target``."""
+        self._require_node(source)
+        self._require_node(target)
+        if source == target:
+            return True
+        return target in self._distances_from(source)
+
+    def clear_cache(self) -> None:
+        """Drop all cached single-source shortest-path results."""
+        self._sssp_cache.clear()
+
+    # ------------------------------------------------------------------
+    # sampling helpers
+    # ------------------------------------------------------------------
+    def nodes_sorted(self) -> list[int]:
+        """Node ids in a deterministic order (for reproducible sampling)."""
+        return sorted(self._graph.nodes)
+
+    def nearest_node(self, x: float, y: float) -> int:
+        """Node id whose coordinates are closest (Euclidean) to ``(x, y)``."""
+        best_node = None
+        best_dist = float("inf")
+        for node, data in self._graph.nodes(data=True):
+            dx = float(data["x"]) - x
+            dy = float(data["y"]) - y
+            dist = dx * dx + dy * dy
+            if dist < best_dist:
+                best_dist = dist
+                best_node = node
+        assert best_node is not None  # the constructor rejects empty graphs
+        return best_node
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _require_node(self, node_id: int) -> None:
+        if node_id not in self._graph:
+            raise UnknownNodeError(node_id)
+
+    def _distances_from(self, source: int) -> dict[int, float]:
+        cached = self._sssp_cache.get(source)
+        if cached is None:
+            cached = nx.single_source_dijkstra_path_length(
+                self._graph, source, weight="travel_time"
+            )
+            self._sssp_cache[source] = cached
+        return cached
+
+
+def build_network(
+    nodes: Iterable[tuple[int, float, float]],
+    edges: Iterable[tuple[int, int, float]],
+    bidirectional: bool = True,
+) -> RoadNetwork:
+    """Construct a :class:`RoadNetwork` from plain tuples.
+
+    Parameters
+    ----------
+    nodes:
+        ``(node_id, x, y)`` triples.
+    edges:
+        ``(u, v, travel_time)`` triples.
+    bidirectional:
+        When true (default) every edge is inserted in both directions,
+        which matches the paper's undirected example network.
+    """
+    graph = nx.DiGraph()
+    for node_id, x, y in nodes:
+        graph.add_node(node_id, x=float(x), y=float(y))
+    for u, v, travel_time in edges:
+        graph.add_edge(u, v, travel_time=float(travel_time))
+        if bidirectional:
+            graph.add_edge(v, u, travel_time=float(travel_time))
+    return RoadNetwork(graph)

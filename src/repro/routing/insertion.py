@@ -1,0 +1,106 @@
+"""Greedy insertion of an order into an existing route.
+
+This is the primitive the GDP baseline [9] is built on: given a worker's
+current route, try every position pair for the new order's pickup and
+dropoff stops, keep the cheapest insertion that still satisfies the
+sequential / deadline / capacity constraints.  The WATTER planner also
+uses it as a fallback for groups too large to enumerate exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, TYPE_CHECKING
+
+from ..model.route import Route, RouteStop, StopKind
+from .feasibility import check_route
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..model.order import Order
+    from ..network.graph import RoadNetwork
+
+
+@dataclass(frozen=True)
+class InsertionResult:
+    """Outcome of the cheapest feasible insertion of an order."""
+
+    route: Route
+    added_travel_time: float
+    pickup_position: int
+    dropoff_position: int
+
+
+def insert_order_into_route(
+    route: Route | None,
+    order: "Order",
+    existing_orders: Sequence["Order"],
+    capacity: int,
+    start_time: float,
+    network: "RoadNetwork",
+    approach_time: float = 0.0,
+) -> InsertionResult | None:
+    """Insert ``order`` into ``route`` at the cheapest feasible position.
+
+    Parameters
+    ----------
+    route:
+        The route being extended.  ``None`` means the worker is idle and
+        a fresh two-stop route is created.
+    existing_orders:
+        Orders already served by ``route`` (their constraints must keep
+        holding after the insertion).
+    capacity:
+        Vehicle capacity.
+    start_time:
+        Time at which the (new) route starts being driven.
+    network:
+        Road network for pricing.
+    approach_time:
+        Travel time from the worker's current position to the first stop
+        of the candidate route, included in deadline checks.
+
+    Returns
+    -------
+    InsertionResult | None
+        The cheapest feasible insertion, or ``None`` if every position
+        violates a constraint.
+    """
+    pickup_stop = RouteStop(order.pickup, order.order_id, StopKind.PICKUP)
+    dropoff_stop = RouteStop(order.dropoff, order.order_id, StopKind.DROPOFF)
+    all_orders = list(existing_orders) + [order]
+
+    if route is None or len(route) == 0:
+        candidate = Route([pickup_stop, dropoff_stop], network)
+        report = check_route(candidate, all_orders, capacity, start_time, approach_time)
+        if not report.feasible:
+            return None
+        return InsertionResult(
+            route=candidate,
+            added_travel_time=candidate.total_travel_time,
+            pickup_position=0,
+            dropoff_position=1,
+        )
+
+    base_stops = list(route.stops)
+    base_cost = route.total_travel_time
+    best: InsertionResult | None = None
+    for pickup_pos in range(len(base_stops) + 1):
+        for dropoff_pos in range(pickup_pos + 1, len(base_stops) + 2):
+            stops = list(base_stops)
+            stops.insert(pickup_pos, pickup_stop)
+            stops.insert(dropoff_pos, dropoff_stop)
+            candidate = Route(stops, network)
+            report = check_route(
+                candidate, all_orders, capacity, start_time, approach_time
+            )
+            if not report.feasible:
+                continue
+            added = candidate.total_travel_time - base_cost
+            if best is None or added < best.added_travel_time:
+                best = InsertionResult(
+                    route=candidate,
+                    added_travel_time=added,
+                    pickup_position=pickup_pos,
+                    dropoff_position=dropoff_pos,
+                )
+    return best

@@ -1,0 +1,220 @@
+"""Best-route planning for order groups.
+
+Given a set of orders, ``RoutePlanner`` finds the feasible route with
+minimal total travel time (the quantity ``T(L)`` that Definition 3 of
+the paper prices).  For the small groups the paper considers (vehicle
+capacities 2-5, so groups of 2-5 orders) exhaustive enumeration of all
+valid pickup/dropoff interleavings is cheap; larger groups fall back to
+a greedy insertion construction.
+
+The planner is the single source of feasible routes for the whole
+library: the shareability graph, the WATTER dispatcher and the GAS
+baseline all call into it, which keeps the constraint semantics in one
+place.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence, TYPE_CHECKING
+
+from ..exceptions import InfeasibleGroupError
+from ..model.route import Route, RouteStop, StopKind
+from .feasibility import check_route
+from .insertion import insert_order_into_route
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..model.order import Order
+    from ..network.graph import RoadNetwork
+
+
+# Exhaustive enumeration explores (2k)! / 2^k stop orders for k orders;
+# k=3 means 90 permutations per plan which keeps pool updates cheap, while
+# k=4 would already cost 2520 permutations per candidate group.  Larger
+# groups fall back to the greedy-insertion construction.
+_EXACT_GROUP_LIMIT = 3
+
+
+@dataclass(frozen=True)
+class PlannedGroup:
+    """A feasible route for a group plus the cost the planner minimised."""
+
+    route: Route
+    total_travel_time: float
+
+
+class RoutePlanner:
+    """Finds minimum-travel-time feasible routes for order groups.
+
+    Parameters
+    ----------
+    network:
+        Road network used to price route legs.
+    exact_group_limit:
+        Largest group size for which all stop interleavings are
+        enumerated exactly; larger groups use greedy insertion.
+    """
+
+    def __init__(
+        self, network: "RoadNetwork", exact_group_limit: int = _EXACT_GROUP_LIMIT
+    ) -> None:
+        self._network = network
+        self._exact_group_limit = max(exact_group_limit, 1)
+
+    @property
+    def network(self) -> "RoadNetwork":
+        """The road network the planner prices routes on."""
+        return self._network
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        orders: Sequence["Order"],
+        capacity: int,
+        start_time: float,
+        start_node: int | None = None,
+    ) -> PlannedGroup:
+        """Return the cheapest feasible route for ``orders``.
+
+        Parameters
+        ----------
+        orders:
+            The group members (1 to capacity orders).
+        capacity:
+            Vehicle capacity the route must respect.
+        start_time:
+            Time at which the route would start being driven.
+        start_node:
+            Worker's current node.  When given, the approach leg from the
+            worker to the first pickup is included in the deadline check
+            (but not in ``total_travel_time``, matching the paper's
+            definition of ``T(L)`` over the route itself).
+
+        Raises
+        ------
+        InfeasibleGroupError
+            If no stop ordering satisfies all constraints.
+        """
+        members = list(orders)
+        if not members:
+            raise InfeasibleGroupError("cannot plan a route for an empty group")
+        if len(members) <= self._exact_group_limit:
+            planned = self._plan_exact(members, capacity, start_time, start_node)
+        else:
+            planned = self._plan_by_insertion(members, capacity, start_time, start_node)
+        if planned is None:
+            raise InfeasibleGroupError(
+                f"no feasible route for orders {[o.order_id for o in members]}"
+            )
+        return planned
+
+    def try_plan(
+        self,
+        orders: Sequence["Order"],
+        capacity: int,
+        start_time: float,
+        start_node: int | None = None,
+    ) -> PlannedGroup | None:
+        """Like :meth:`plan` but returns ``None`` instead of raising."""
+        try:
+            return self.plan(orders, capacity, start_time, start_node)
+        except InfeasibleGroupError:
+            return None
+
+    def can_share(
+        self,
+        first: "Order",
+        second: "Order",
+        capacity: int,
+        start_time: float,
+    ) -> PlannedGroup | None:
+        """Cheapest feasible pairwise route, or ``None`` if the pair can't share.
+
+        This is the primitive the temporal shareability graph uses to
+        decide whether to connect two orders with an edge.
+        """
+        if first.riders + second.riders > capacity:
+            return None
+        return self.try_plan([first, second], capacity, start_time)
+
+    # ------------------------------------------------------------------
+    # exact enumeration
+    # ------------------------------------------------------------------
+    def _plan_exact(
+        self,
+        orders: Sequence["Order"],
+        capacity: int,
+        start_time: float,
+        start_node: int | None,
+    ) -> PlannedGroup | None:
+        best: PlannedGroup | None = None
+        for stops in self._candidate_stop_orders(orders):
+            route = Route(stops, self._network)
+            approach = self._approach_time(start_node, route)
+            report = check_route(route, orders, capacity, start_time, approach)
+            if not report.feasible:
+                continue
+            if best is None or route.total_travel_time < best.total_travel_time:
+                best = PlannedGroup(route, route.total_travel_time)
+        return best
+
+    def _candidate_stop_orders(
+        self, orders: Sequence["Order"]
+    ) -> Iterable[list[RouteStop]]:
+        """Yield every stop permutation where pickups precede dropoffs."""
+        stops = []
+        for order in orders:
+            stops.append(RouteStop(order.pickup, order.order_id, StopKind.PICKUP))
+            stops.append(RouteStop(order.dropoff, order.order_id, StopKind.DROPOFF))
+        for permutation in itertools.permutations(stops):
+            if self._pickups_precede_dropoffs(permutation):
+                yield list(permutation)
+
+    @staticmethod
+    def _pickups_precede_dropoffs(stops: Sequence[RouteStop]) -> bool:
+        picked: set[int] = set()
+        for stop in stops:
+            if stop.kind is StopKind.PICKUP:
+                picked.add(stop.order_id)
+            elif stop.order_id not in picked:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # insertion fallback for larger groups
+    # ------------------------------------------------------------------
+    def _plan_by_insertion(
+        self,
+        orders: Sequence["Order"],
+        capacity: int,
+        start_time: float,
+        start_node: int | None,
+    ) -> PlannedGroup | None:
+        seed, *rest = sorted(orders, key=lambda order: order.release_time)
+        stops = [
+            RouteStop(seed.pickup, seed.order_id, StopKind.PICKUP),
+            RouteStop(seed.dropoff, seed.order_id, StopKind.DROPOFF),
+        ]
+        route = Route(stops, self._network)
+        placed = [seed]
+        for order in rest:
+            result = insert_order_into_route(
+                route, order, placed, capacity, start_time, self._network
+            )
+            if result is None:
+                return None
+            route = result.route
+            placed.append(order)
+        approach = self._approach_time(start_node, route)
+        report = check_route(route, placed, capacity, start_time, approach)
+        if not report.feasible:
+            return None
+        return PlannedGroup(route, route.total_travel_time)
+
+    def _approach_time(self, start_node: int | None, route: Route) -> float:
+        if start_node is None:
+            return 0.0
+        return self._network.travel_time(start_node, route.start_node)

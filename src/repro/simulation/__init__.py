@@ -1,0 +1,19 @@
+"""Event-driven ridesharing simulation: fleet, dispatchers, engine, metrics."""
+
+from .fleet import WorkerFleet, Assignment
+from .dispatcher import Dispatcher, ServedOrder, DispatchResult, served_orders_from_group
+from .metrics import MetricsCollector, SimulationMetrics
+from .engine import Simulator, SimulationResult
+
+__all__ = [
+    "WorkerFleet",
+    "Assignment",
+    "Dispatcher",
+    "ServedOrder",
+    "DispatchResult",
+    "served_orders_from_group",
+    "MetricsCollector",
+    "SimulationMetrics",
+    "Simulator",
+    "SimulationResult",
+]

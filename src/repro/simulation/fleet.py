@@ -1,0 +1,190 @@
+"""Worker fleet management.
+
+``WorkerFleet`` owns the vehicles of a simulation run and answers the
+only questions the dispatchers ask of them:
+
+* which workers are idle right now,
+* which idle worker is the best (nearest feasible) one for a group, and
+* book an assignment: mark the worker busy for the approach leg plus the
+  group's route and account the driven travel time (the worker-cost part
+  of the Unified Cost metric).
+
+The grid index restricts nearest-worker searches to expanding rings of
+cells around the group's first pickup, mirroring the paper's use of a
+grid index "to speed up workers and riders search" (Section VII-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, TYPE_CHECKING
+
+from ..exceptions import ConfigurationError
+from ..model.worker import Worker
+from ..network.grid import GridIndex
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..model.group import Group
+    from ..network.graph import RoadNetwork
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A booked (group, worker) pair with its timing breakdown."""
+
+    worker_id: int
+    approach_time: float
+    route_time: float
+    start_time: float
+    finish_time: float
+
+
+class WorkerFleet:
+    """The set of vehicles plus their availability bookkeeping.
+
+    Parameters
+    ----------
+    workers:
+        Vehicles participating in the simulation.
+    network:
+        Road network for approach-time queries.
+    grid:
+        Optional spatial index; built from the network when omitted.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[Worker],
+        network: "RoadNetwork",
+        grid: GridIndex | None = None,
+    ) -> None:
+        if not workers:
+            raise ConfigurationError("a fleet needs at least one worker")
+        self._workers = {worker.worker_id: worker for worker in workers}
+        self._network = network
+        self._grid = grid if grid is not None else GridIndex(network, size=10)
+        self._total_travel_time = 0.0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __iter__(self) -> Iterator[Worker]:
+        return iter(self._workers.values())
+
+    def worker(self, worker_id: int) -> Worker:
+        """Look a worker up by id."""
+        return self._workers[worker_id]
+
+    @property
+    def total_travel_time(self) -> float:
+        """Total driven time (approach + route legs) booked so far."""
+        return self._total_travel_time
+
+    def idle_workers(self, now: float) -> list[Worker]:
+        """Workers available for a new assignment at ``now``."""
+        self.release_finished(now)
+        return [worker for worker in self._workers.values() if worker.is_idle]
+
+    def idle_locations(self, now: float) -> list[int]:
+        """Locations of idle workers (the supply vector of the MDP state)."""
+        return [worker.location for worker in self.idle_workers(now)]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def release_finished(self, now: float) -> int:
+        """Return workers whose routes have finished to the idle pool."""
+        released = 0
+        for worker in self._workers.values():
+            if worker.release_if_done(now):
+                released += 1
+        return released
+
+    def find_worker_for(self, group: "Group", now: float) -> Worker | None:
+        """Nearest idle worker that can feasibly serve ``group`` from ``now``.
+
+        Feasibility accounts for the approach leg: the worker must reach
+        the route's first stop and then complete each member's sub-route
+        before that member's deadline.  Capacity must cover the group's
+        total riders.
+        """
+        candidates = self.idle_workers(now)
+        if not candidates:
+            return None
+        riders = group.total_riders()
+        best_worker: Worker | None = None
+        best_approach = float("inf")
+        start_node = group.route.start_node
+        for worker in candidates:
+            if worker.capacity < riders:
+                continue
+            approach = self._network.travel_time(worker.location, start_node)
+            if approach >= best_approach:
+                continue
+            if not self._group_feasible_with_approach(group, now, approach):
+                continue
+            best_worker = worker
+            best_approach = approach
+        return best_worker
+
+    def can_serve(self, group: "Group", now: float) -> bool:
+        """Whether any idle worker could serve the group right now."""
+        return self.find_worker_for(group, now) is not None
+
+    def assign(self, worker: Worker, group: "Group", now: float) -> Assignment:
+        """Book ``group`` onto ``worker`` starting at ``now``.
+
+        The worker becomes busy for the approach leg plus the route and
+        ends up idle at the route's final stop.
+        """
+        approach = self._network.travel_time(worker.location, group.route.start_node)
+        route_time = group.route.total_travel_time
+        finish = now + approach + route_time
+        worker.assign(end_location=group.route.end_node, finish_time=finish)
+        self._total_travel_time += approach + route_time
+        return Assignment(
+            worker_id=worker.worker_id,
+            approach_time=approach,
+            route_time=route_time,
+            start_time=now,
+            finish_time=finish,
+        )
+
+    def add_travel_time(self, amount: float) -> None:
+        """Account extra driven time booked outside :meth:`assign`.
+
+        Baselines that manage their own route schedules (GDP) use this
+        so the Unified Cost still reflects all driven time.
+        """
+        if amount < 0:
+            raise ConfigurationError("cannot add negative travel time")
+        self._total_travel_time += amount
+
+    def earliest_available_time(self) -> float:
+        """The earliest time at which some worker will be idle."""
+        return min(
+            (0.0 if worker.is_idle else worker.busy_until)
+            for worker in self._workers.values()
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _group_feasible_with_approach(
+        self, group: "Group", now: float, approach: float
+    ) -> bool:
+        for order in group.orders:
+            arrival = now + approach + group.route.sub_route_time(order.order_id)
+            if arrival > order.deadline:
+                return False
+        return True
+
+
+def fleet_from_workers(
+    workers: Iterable[Worker], network: "RoadNetwork", grid_size: int = 10
+) -> WorkerFleet:
+    """Convenience constructor building the grid index at the given size."""
+    return WorkerFleet(list(workers), network, GridIndex(network, size=grid_size))

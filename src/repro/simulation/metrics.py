@@ -1,0 +1,169 @@
+"""Metric accounting matching Section VII-A ("Measurements").
+
+Four metrics are reported for every algorithm:
+
+* **Extra Time** — the METRS objective: the sum over served orders of
+  ``alpha * detour + beta * response`` plus the penalty ``max t_r`` of
+  every rejected order (Definition 7).
+* **Unified Cost** — worker travel cost plus ``penalty_factor x
+  cost(pickup, dropoff)`` for every rejected order (the measure of [9]
+  the paper adopts; the balance parameter is 1).
+* **Service Rate** — ``|O+| / |O|``.
+* **Running Time** — average wall-clock algorithm time per order,
+  measured by the engine and stored here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..config import ExtraTimeWeights
+from ..model.order import OrderOutcome
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..model.order import Order
+    from .dispatcher import ServedOrder
+
+
+@dataclass(frozen=True)
+class SimulationMetrics:
+    """Aggregated results of one simulation run."""
+
+    algorithm: str
+    dataset: str
+    total_orders: int
+    served_orders: int
+    rejected_orders: int
+    total_extra_time: float
+    average_extra_time: float
+    total_response_time: float
+    total_detour_time: float
+    unified_cost: float
+    service_rate: float
+    worker_travel_time: float
+    running_time_total: float
+    running_time_per_order: float
+    average_group_size: float
+
+    def summary_row(self) -> dict[str, float | str | int]:
+        """Flat dictionary convenient for tabular reports."""
+        return {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "orders": self.total_orders,
+            "served": self.served_orders,
+            "extra_time": self.total_extra_time,
+            "unified_cost": self.unified_cost,
+            "service_rate": self.service_rate,
+            "running_time": self.running_time_per_order,
+        }
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates per-order outcomes during a simulation run.
+
+    Parameters
+    ----------
+    weights:
+        Extra-time trade-off coefficients (alpha, beta).
+    penalty_factor:
+        Multiplier of ``cost(pickup, dropoff)`` charged to the Unified
+        Cost for every rejected order (the paper uses 10).
+    """
+
+    weights: ExtraTimeWeights = field(default_factory=ExtraTimeWeights)
+    penalty_factor: float = 10.0
+    outcomes: list[OrderOutcome] = field(default_factory=list)
+    _group_sizes: list[int] = field(default_factory=list)
+    _rejected_trip_costs: list[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_served(self, served: "ServedOrder") -> None:
+        """Register a served order."""
+        extra = (
+            self.weights.alpha * served.detour_time
+            + self.weights.beta * served.response_time
+        )
+        self.outcomes.append(
+            OrderOutcome(
+                order_id=served.order.order_id,
+                served=True,
+                response_time=served.response_time,
+                detour_time=served.detour_time,
+                extra_time=extra,
+                penalty=served.order.penalty,
+                group_size=served.group_size,
+                worker_id=served.worker_id,
+                dispatch_time=served.dispatch_time,
+            )
+        )
+        self._group_sizes.append(served.group_size)
+
+    def record_rejected(self, order: "Order") -> None:
+        """Register a rejected order (charged its penalty)."""
+        self.outcomes.append(
+            OrderOutcome(
+                order_id=order.order_id,
+                served=False,
+                penalty=order.penalty,
+            )
+        )
+        self._rejected_trip_costs.append(order.shortest_time)
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def finalize(
+        self,
+        algorithm: str,
+        dataset: str,
+        worker_travel_time: float,
+        running_time_total: float,
+    ) -> SimulationMetrics:
+        """Build the aggregate metrics record for the finished run."""
+        served = [outcome for outcome in self.outcomes if outcome.served]
+        rejected = [outcome for outcome in self.outcomes if not outcome.served]
+        total = len(self.outcomes)
+        total_extra = sum(outcome.extra_time for outcome in served) + sum(
+            outcome.penalty for outcome in rejected
+        )
+        unified_cost = worker_travel_time + self.penalty_factor * sum(
+            self._rejected_trip_costs
+        )
+        service_rate = (len(served) / total) if total else 0.0
+        average_extra = (total_extra / total) if total else 0.0
+        average_group = (
+            sum(self._group_sizes) / len(self._group_sizes) if self._group_sizes else 0.0
+        )
+        return SimulationMetrics(
+            algorithm=algorithm,
+            dataset=dataset,
+            total_orders=total,
+            served_orders=len(served),
+            rejected_orders=len(rejected),
+            total_extra_time=total_extra,
+            average_extra_time=average_extra,
+            total_response_time=sum(o.response_time for o in served),
+            total_detour_time=sum(o.detour_time for o in served),
+            unified_cost=unified_cost,
+            service_rate=service_rate,
+            worker_travel_time=worker_travel_time,
+            running_time_total=running_time_total,
+            running_time_per_order=(running_time_total / total) if total else 0.0,
+            average_group_size=average_group,
+        )
+
+    # ------------------------------------------------------------------
+    # invariants (used by tests)
+    # ------------------------------------------------------------------
+    def accounted_orders(self) -> int:
+        """Number of orders with a recorded outcome."""
+        return len(self.outcomes)
+
+    def order_ids(self) -> set[int]:
+        """Ids of all orders with a recorded outcome."""
+        return {outcome.order_id for outcome in self.outcomes}

@@ -1,0 +1,97 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ExtraTimeWeights, SimulationConfig
+from repro.model.order import Order
+from repro.model.worker import Worker
+from repro.network.generators import example_network, grid_city
+from repro.network.grid import GridIndex
+from repro.routing.planner import RoutePlanner
+from repro.simulation.fleet import WorkerFleet
+
+
+@pytest.fixture
+def small_network():
+    """A 6x6 grid city with deterministic 60-second edges."""
+    return grid_city(rows=6, cols=6, edge_travel_time=60.0, jitter=0.0, seed=0)
+
+
+@pytest.fixture
+def figure1_network():
+    """The 6-node network of Figure 1 / Example 1."""
+    return example_network()
+
+
+@pytest.fixture
+def planner(small_network):
+    """A route planner over the small grid network."""
+    return RoutePlanner(small_network)
+
+
+@pytest.fixture
+def base_config():
+    """A small but valid simulation configuration."""
+    return SimulationConfig(
+        num_orders=20,
+        num_workers=4,
+        deadline_scale=1.8,
+        watch_window_scale=0.8,
+        max_capacity=4,
+        check_period=10.0,
+        time_slot=10.0,
+        grid_size=4,
+        horizon=1800.0,
+        weights=ExtraTimeWeights(),
+        max_group_size=3,
+        seed=3,
+    )
+
+
+def make_order(
+    network,
+    pickup: int,
+    dropoff: int,
+    release: float = 0.0,
+    deadline_scale: float = 1.8,
+    watch_scale: float = 0.8,
+    riders: int = 1,
+    order_id: int | None = None,
+) -> Order:
+    """Build an order with deadlines derived the same way the datasets do."""
+    shortest = network.travel_time(pickup, dropoff)
+    kwargs = dict(
+        pickup=pickup,
+        dropoff=dropoff,
+        release_time=release,
+        shortest_time=shortest,
+        deadline=release + deadline_scale * shortest,
+        wait_limit=watch_scale * shortest,
+        riders=riders,
+    )
+    if order_id is not None:
+        kwargs["order_id"] = order_id
+    return Order(**kwargs)
+
+
+@pytest.fixture
+def order_factory(small_network):
+    """Factory building orders on the small grid network."""
+
+    def factory(pickup, dropoff, release=0.0, **kwargs):
+        return make_order(small_network, pickup, dropoff, release, **kwargs)
+
+    return factory
+
+
+@pytest.fixture
+def fleet_factory(small_network):
+    """Factory building a fleet of idle workers on the small grid network."""
+
+    def factory(locations=(0, 5, 30, 35), capacity=4):
+        workers = [Worker(location=loc, capacity=capacity) for loc in locations]
+        return WorkerFleet(workers, small_network, GridIndex(small_network, size=3))
+
+    return factory

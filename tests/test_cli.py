@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.command == "compare"
+        assert args.dataset == "CDC"
+        assert "WATTER-expect" in args.algorithms
+
+    def test_sweep_figure_choices(self):
+        args = build_parser().parse_args(["sweep", "--figure", "fig5"])
+        assert args.figure == "fig5"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--figure", "fig99"])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--algorithms", "FancyAlgo"])
+
+    def test_workload_overrides_parsed(self):
+        args = build_parser().parse_args(
+            ["compare", "--orders", "50", "--workers", "10", "--seed", "3"]
+        )
+        assert (args.orders, args.workers, args.seed) == (50, 10, 3)
+
+
+class TestMain:
+    def test_compare_command_prints_table(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--dataset",
+                "CDC",
+                "--orders",
+                "25",
+                "--workers",
+                "6",
+                "--horizon",
+                "900",
+                "--algorithms",
+                "WATTER-online",
+                "NonSharing",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "WATTER-online" in captured
+        assert "NonSharing" in captured
+        assert "service rate" in captured
+
+    def test_example1_command(self, capsys):
+        exit_code = main(["example1"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Example 1" in captured
+        assert "WATTER-timeout (pooling)" in captured

@@ -1,0 +1,183 @@
+"""Unit tests for the synthetic workload generators and CSV I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.datasets.io import (
+    orders_from_csv,
+    orders_to_csv,
+    raw_trips_to_orders,
+    workers_from_csv,
+    workers_to_csv,
+)
+from repro.datasets.synthetic import CityModel, DemandHotspot, PeakPeriod
+from repro.datasets.workloads import (
+    DATASET_NAMES,
+    build_workload,
+    city_by_name,
+    nyc_like_city,
+)
+from repro.exceptions import DatasetError
+from repro.network.generators import grid_city
+
+
+@pytest.fixture
+def tiny_config():
+    return SimulationConfig(
+        num_orders=40,
+        num_workers=6,
+        horizon=1800.0,
+        deadline_scale=1.6,
+        watch_window_scale=0.8,
+        seed=11,
+    )
+
+
+class TestCityModel:
+    def test_requires_hotspots(self):
+        network = grid_city(rows=4, cols=4, seed=0)
+        with pytest.raises(DatasetError):
+            CityModel(
+                name="bad",
+                network=network,
+                pickup_hotspots=[],
+                dropoff_hotspots=[DemandHotspot(0, 0, 1.0)],
+            )
+
+    def test_uniform_fraction_bounds(self):
+        network = grid_city(rows=4, cols=4, seed=0)
+        with pytest.raises(DatasetError):
+            CityModel(
+                name="bad",
+                network=network,
+                pickup_hotspots=[DemandHotspot(0, 0, 1.0)],
+                dropoff_hotspots=[DemandHotspot(0, 0, 1.0)],
+                uniform_fraction=1.5,
+            )
+
+    def test_arrival_rate_multiplier(self):
+        network = grid_city(rows=4, cols=4, seed=0)
+        city = CityModel(
+            name="peaky",
+            network=network,
+            pickup_hotspots=[DemandHotspot(0, 0, 1.0)],
+            dropoff_hotspots=[DemandHotspot(3, 3, 1.0)],
+            peak_periods=[PeakPeriod(start=100.0, end=200.0, intensity=3.0)],
+        )
+        assert city.arrival_rate_multiplier(50.0) == 1.0
+        assert city.arrival_rate_multiplier(150.0) == 3.0
+        assert city.arrival_rate_multiplier(250.0) == 1.0
+
+
+class TestWorkloadGeneration:
+    @pytest.mark.parametrize("dataset", DATASET_NAMES)
+    def test_presets_generate(self, dataset, tiny_config):
+        workload = build_workload(dataset, tiny_config)
+        assert workload.name == dataset
+        assert len(workload.orders) > 0
+        assert len(workload.workers) == tiny_config.num_workers
+
+    def test_orders_sorted_by_release(self, tiny_config):
+        workload = build_workload("CDC", tiny_config)
+        releases = [order.release_time for order in workload.orders]
+        assert releases == sorted(releases)
+
+    def test_order_invariants(self, tiny_config):
+        workload = build_workload("CDC", tiny_config)
+        for order in workload.orders:
+            assert order.pickup != order.dropoff
+            assert order.shortest_time > 0
+            assert order.deadline == pytest.approx(
+                order.release_time + tiny_config.deadline_scale * order.shortest_time
+            )
+            assert order.wait_limit == pytest.approx(
+                tiny_config.watch_window_scale * order.shortest_time
+            )
+            assert 0.0 <= order.release_time <= tiny_config.horizon
+
+    def test_worker_invariants(self, tiny_config):
+        workload = build_workload("XIA", tiny_config)
+        for worker in workload.workers:
+            assert 2 <= worker.capacity <= tiny_config.max_capacity
+            assert worker.location in workload.network
+
+    def test_generation_is_deterministic(self, tiny_config):
+        first = build_workload("CDC", tiny_config)
+        second = build_workload("CDC", tiny_config)
+        assert [(o.pickup, o.dropoff, o.release_time) for o in first.orders] == [
+            (o.pickup, o.dropoff, o.release_time) for o in second.orders
+        ]
+
+    def test_different_seeds_differ(self, tiny_config):
+        other = tiny_config.with_overrides(seed=99)
+        first = build_workload("CDC", tiny_config)
+        second = build_workload("CDC", other)
+        assert [(o.pickup, o.dropoff) for o in first.orders] != [
+            (o.pickup, o.dropoff) for o in second.orders
+        ]
+
+    def test_city_by_name_rejects_unknown(self):
+        with pytest.raises(DatasetError):
+            city_by_name("LONDON")
+
+    def test_nyc_demand_is_more_concentrated_than_xia(self, tiny_config):
+        from repro.network.grid import GridIndex
+
+        config = tiny_config.with_overrides(num_orders=150)
+        nyc = build_workload("NYC", config)
+        xia = build_workload("XIA", config)
+
+        def top_cell_share(workload):
+            """Fraction of pickups falling in the busiest 20% of grid cells."""
+            grid = GridIndex(workload.network, size=5)
+            counts = sorted(
+                grid.density([order.pickup for order in workload.orders]), reverse=True
+            )
+            top = counts[: max(grid.num_cells // 5, 1)]
+            return sum(top) / max(sum(counts), 1)
+
+        assert top_cell_share(nyc) > top_cell_share(xia)
+
+
+class TestCsvRoundTrip:
+    def test_orders_round_trip(self, tiny_config, tmp_path):
+        workload = build_workload("CDC", tiny_config)
+        path = tmp_path / "orders.csv"
+        orders_to_csv(workload.orders, path)
+        loaded = orders_from_csv(path)
+        assert len(loaded) == len(workload.orders)
+        original = {(o.order_id, o.pickup, o.dropoff) for o in workload.orders}
+        restored = {(o.order_id, o.pickup, o.dropoff) for o in loaded}
+        assert original == restored
+
+    def test_workers_round_trip(self, tiny_config, tmp_path):
+        workload = build_workload("CDC", tiny_config)
+        path = tmp_path / "workers.csv"
+        workers_to_csv(workload.workers, path)
+        loaded = workers_from_csv(path)
+        assert {(w.worker_id, w.location, w.capacity) for w in loaded} == {
+            (w.worker_id, w.location, w.capacity) for w in workload.workers
+        }
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "broken.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(DatasetError):
+            orders_from_csv(path)
+        with pytest.raises(DatasetError):
+            workers_from_csv(path)
+
+    def test_raw_trips_to_orders(self, tiny_config):
+        network = grid_city(rows=4, cols=4, jitter=0.0, seed=0)
+        rows = [
+            {"pickup_x": 0.1, "pickup_y": 0.1, "dropoff_x": 3.0, "dropoff_y": 3.0,
+             "release_time": 5.0},
+            {"pickup_x": 1.0, "pickup_y": 1.0, "dropoff_x": 1.0, "dropoff_y": 1.0,
+             "release_time": 9.0},  # degenerate: same node -> skipped
+        ]
+        orders = raw_trips_to_orders(rows, network, tiny_config)
+        assert len(orders) == 1
+        assert orders[0].release_time == 5.0
+        assert orders[0].shortest_time > 0

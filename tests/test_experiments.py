@@ -1,0 +1,148 @@
+"""Tests for the experiment harness: configs, sweeps, reporting, worked example."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments.config import (
+    DATASET_DEFAULTS,
+    PARAMETER_GRID,
+    default_config,
+    worker_counts_scaled,
+)
+from repro.experiments.reporting import (
+    format_comparison_table,
+    format_full_sweep_report,
+    format_sweep_table,
+)
+from repro.experiments.runner import run_comparison
+from repro.experiments.sweeps import vary_deadline, vary_num_orders
+from repro.experiments.worked_example import (
+    example_config,
+    example_orders,
+    example_workload,
+    run_worked_example,
+)
+
+_FAST = dict(num_orders=30, num_workers=8, horizon=900.0, grid_size=5)
+_FAST_ALGOS = ("WATTER-online", "WATTER-timeout", "NonSharing")
+
+
+class TestExperimentConfig:
+    def test_dataset_defaults_cover_all_datasets(self):
+        assert set(DATASET_DEFAULTS) == {"NYC", "CDC", "XIA"}
+
+    def test_default_config_uses_table3_values(self):
+        config = default_config("CDC")
+        assert config.deadline_scale == 1.6
+        assert config.max_capacity == 4
+        assert config.watch_window_scale == 0.8
+        assert config.grid_size == 10
+
+    def test_default_config_overrides(self):
+        config = default_config("NYC", num_orders=50)
+        assert config.num_orders == 50
+
+    def test_parameter_grid_matches_table3(self):
+        assert PARAMETER_GRID["deadline_scales"] == (1.2, 1.4, 1.6, 1.8)
+        assert PARAMETER_GRID["capacities"] == (2, 3, 4, 5)
+        assert PARAMETER_GRID["order_fractions"] == (0.50, 0.75, 1.00, 1.25)
+
+    def test_worker_counts_scaled_preserves_ratios(self):
+        counts = worker_counts_scaled()
+        assert len(counts) == 4
+        assert counts[0] < counts[-1]
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def order_sweep(self):
+        base = default_config("CDC", **_FAST)
+        return vary_num_orders(
+            "CDC", fractions=(0.5, 1.0), base_config=base, algorithms=_FAST_ALGOS
+        )
+
+    def test_sweep_covers_all_cells(self, order_sweep):
+        assert len(order_sweep.runs) == 2 * len(_FAST_ALGOS)
+        assert order_sweep.values() == [0.5, 1.0]
+        assert set(order_sweep.algorithms()) == set(_FAST_ALGOS)
+
+    def test_series_lengths(self, order_sweep):
+        for algorithm in _FAST_ALGOS:
+            series = order_sweep.series(algorithm, "service_rate")
+            assert len(series) == 2
+            assert all(0.0 <= value <= 1.0 for value in series)
+
+    def test_deadline_sweep_changes_config(self):
+        base = default_config("CDC", **_FAST)
+        sweep = vary_deadline(
+            "CDC",
+            deadline_scales=(1.2, 1.8),
+            base_config=base,
+            algorithms=("NonSharing",),
+        )
+        assert sweep.values() == [1.2, 1.8]
+        # a looser deadline can only help the service rate on the same workload
+        series = sweep.series("NonSharing", "service_rate")
+        assert series[1] >= series[0] - 0.1
+
+
+class TestReporting:
+    @pytest.fixture(scope="class")
+    def metrics_list(self):
+        config = default_config("CDC", **_FAST)
+        return run_comparison("CDC", config, algorithms=_FAST_ALGOS)
+
+    def test_comparison_table_contains_all_algorithms(self, metrics_list):
+        table = format_comparison_table(metrics_list)
+        for metrics in metrics_list:
+            assert metrics.algorithm in table
+
+    def test_sweep_table_rendering(self):
+        base = default_config("CDC", **_FAST)
+        sweep = vary_num_orders(
+            "CDC", fractions=(1.0,), base_config=base, algorithms=("NonSharing",)
+        )
+        table = format_sweep_table(sweep, "service_rate")
+        assert "Service Rate" in table
+        assert "NonSharing" in table
+        full = format_full_sweep_report(sweep)
+        assert "Extra Time" in full and "Unified Cost" in full
+
+    def test_sweep_table_rejects_unknown_metric(self):
+        base = default_config("CDC", **_FAST)
+        sweep = vary_num_orders(
+            "CDC", fractions=(1.0,), base_config=base, algorithms=("NonSharing",)
+        )
+        with pytest.raises(KeyError):
+            format_sweep_table(sweep, "not_a_metric")
+
+
+class TestWorkedExample:
+    def test_orders_match_table1(self):
+        orders = example_orders()
+        assert len(orders) == 4
+        assert [order.release_time for order in orders] == [5.0, 8.0, 10.0, 12.0]
+
+    def test_workload_has_two_workers(self):
+        workload = example_workload()
+        assert len(workload.workers) == 2
+        assert workload.name == "Example1"
+
+    def test_example_config_is_valid(self):
+        assert isinstance(example_config(), SimulationConfig)
+
+    def test_pooling_beats_non_sharing(self):
+        """The qualitative claim of Example 1: waiting for the right partner
+        reduces the total worker travel time compared to serving riders
+        one by one or grouping only inside a batch."""
+        result = run_worked_example()
+        assert result.pooling <= result.non_sharing
+        assert result.pooling <= result.batch
+        assert set(result.as_dict()) == {
+            "NonSharing",
+            "WATTER-online",
+            "GAS (batch)",
+            "WATTER-timeout (pooling)",
+        }

@@ -1,0 +1,181 @@
+"""Unit tests for the worker fleet and the metrics collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ExtraTimeWeights
+from repro.exceptions import ConfigurationError
+from repro.model.group import Group
+from repro.model.route import Route, RouteStop, StopKind
+from repro.model.worker import Worker
+from repro.network.grid import GridIndex
+from repro.simulation.dispatcher import ServedOrder, served_orders_from_group
+from repro.simulation.fleet import WorkerFleet
+from repro.simulation.metrics import MetricsCollector
+from tests.conftest import make_order
+
+
+def _solo_group(network, order):
+    route = Route(
+        [
+            RouteStop(order.pickup, order.order_id, StopKind.PICKUP),
+            RouteStop(order.dropoff, order.order_id, StopKind.DROPOFF),
+        ],
+        network,
+    )
+    return Group(orders=(order,), route=route)
+
+
+class TestWorkerFleet:
+    def test_requires_workers(self, small_network):
+        with pytest.raises(ConfigurationError):
+            WorkerFleet([], small_network)
+
+    def test_idle_workers_initially_all(self, fleet_factory):
+        fleet = fleet_factory(locations=(0, 5, 30))
+        assert len(fleet.idle_workers(0.0)) == 3
+
+    def test_nearest_feasible_worker_chosen(self, small_network, fleet_factory):
+        fleet = fleet_factory(locations=(0, 35))
+        order = make_order(small_network, 6, 30)
+        group = _solo_group(small_network, order)
+        worker = fleet.find_worker_for(group, 0.0)
+        assert worker is not None
+        assert worker.location == 0  # much closer than node 35
+
+    def test_capacity_filter(self, small_network):
+        workers = [Worker(location=0, capacity=1)]
+        fleet = WorkerFleet(workers, small_network, GridIndex(small_network, 3))
+        first = make_order(small_network, 0, 24)
+        second = make_order(small_network, 6, 30)
+        from repro.routing.planner import RoutePlanner
+
+        planned = RoutePlanner(small_network).plan([first, second], 4, 0.0)
+        group = Group(orders=(first, second), route=planned.route)
+        assert fleet.find_worker_for(group, 0.0) is None
+
+    def test_assignment_books_travel_time(self, small_network, fleet_factory):
+        fleet = fleet_factory(locations=(0,))
+        order = make_order(small_network, 6, 30)
+        group = _solo_group(small_network, order)
+        worker = fleet.find_worker_for(group, 0.0)
+        assignment = fleet.assign(worker, group, 0.0)
+        assert assignment.approach_time == pytest.approx(
+            small_network.travel_time(0, 1)
+        )
+        assert assignment.route_time == pytest.approx(group.route.total_travel_time)
+        assert fleet.total_travel_time == pytest.approx(
+            assignment.approach_time + assignment.route_time
+        )
+        assert not worker.is_idle
+        assert worker.location == group.route.end_node
+
+    def test_busy_worker_not_offered(self, small_network, fleet_factory):
+        fleet = fleet_factory(locations=(0,))
+        order = make_order(small_network, 6, 30)
+        group = _solo_group(small_network, order)
+        worker = fleet.find_worker_for(group, 0.0)
+        fleet.assign(worker, group, 0.0)
+        another = make_order(small_network, 2, 14)
+        assert fleet.find_worker_for(_solo_group(small_network, another), 1.0) is None
+
+    def test_release_finished_returns_worker(self, small_network, fleet_factory):
+        fleet = fleet_factory(locations=(0,))
+        order = make_order(small_network, 6, 30)
+        group = _solo_group(small_network, order)
+        worker = fleet.find_worker_for(group, 0.0)
+        assignment = fleet.assign(worker, group, 0.0)
+        assert fleet.idle_workers(assignment.finish_time - 1.0) == []
+        assert len(fleet.idle_workers(assignment.finish_time + 1.0)) == 1
+
+    def test_deadline_infeasible_worker_rejected(self, small_network, fleet_factory):
+        fleet = fleet_factory(locations=(35,))
+        order = make_order(small_network, 0, 2, deadline_scale=1.1)
+        group = _solo_group(small_network, order)
+        assert fleet.find_worker_for(group, 0.0) is None
+
+    def test_add_travel_time_validation(self, fleet_factory):
+        fleet = fleet_factory()
+        fleet.add_travel_time(100.0)
+        assert fleet.total_travel_time == 100.0
+        with pytest.raises(ConfigurationError):
+            fleet.add_travel_time(-1.0)
+
+    def test_idle_locations(self, fleet_factory):
+        fleet = fleet_factory(locations=(0, 5))
+        assert sorted(fleet.idle_locations(0.0)) == [0, 5]
+
+
+class TestServedOrdersFromGroup:
+    def test_records_per_member(self, small_network):
+        first = make_order(small_network, 0, 24, release=0.0)
+        second = make_order(small_network, 6, 30, release=20.0)
+        from repro.routing.planner import RoutePlanner
+
+        planned = RoutePlanner(small_network).plan([first, second], 4, 60.0)
+        group = Group(orders=(first, second), route=planned.route)
+        records = served_orders_from_group(group, dispatch_time=60.0, worker_id=7)
+        assert len(records) == 2
+        by_id = {record.order.order_id: record for record in records}
+        assert by_id[first.order_id].response_time == pytest.approx(60.0)
+        assert by_id[second.order_id].response_time == pytest.approx(40.0)
+        assert all(record.group_size == 2 for record in records)
+        assert all(record.worker_id == 7 for record in records)
+
+
+class TestMetricsCollector:
+    def test_extra_time_accounting(self, small_network):
+        collector = MetricsCollector(weights=ExtraTimeWeights(), penalty_factor=10.0)
+        order = make_order(small_network, 0, 24, release=0.0)
+        collector.record_served(
+            ServedOrder(
+                order=order,
+                response_time=30.0,
+                detour_time=45.0,
+                dispatch_time=30.0,
+                worker_id=1,
+                group_size=2,
+            )
+        )
+        rejected = make_order(small_network, 6, 30, release=0.0)
+        collector.record_rejected(rejected)
+        metrics = collector.finalize("alg", "TEST", worker_travel_time=500.0, running_time_total=0.2)
+        assert metrics.total_orders == 2
+        assert metrics.served_orders == 1
+        assert metrics.rejected_orders == 1
+        assert metrics.total_extra_time == pytest.approx(75.0 + rejected.penalty)
+        assert metrics.unified_cost == pytest.approx(500.0 + 10.0 * rejected.shortest_time)
+        assert metrics.service_rate == pytest.approx(0.5)
+        assert metrics.running_time_per_order == pytest.approx(0.1)
+        assert metrics.average_group_size == pytest.approx(2.0)
+
+    def test_weights_change_extra_time(self, small_network):
+        collector = MetricsCollector(weights=ExtraTimeWeights(alpha=2.0, beta=0.0))
+        order = make_order(small_network, 0, 24)
+        collector.record_served(
+            ServedOrder(order, response_time=100.0, detour_time=10.0,
+                        dispatch_time=100.0, worker_id=1, group_size=1)
+        )
+        metrics = collector.finalize("alg", "TEST", 0.0, 0.0)
+        assert metrics.total_extra_time == pytest.approx(20.0)
+
+    def test_empty_collector_finalizes(self):
+        metrics = MetricsCollector().finalize("alg", "TEST", 0.0, 0.0)
+        assert metrics.total_orders == 0
+        assert metrics.service_rate == 0.0
+        assert metrics.average_extra_time == 0.0
+
+    def test_summary_row_keys(self, small_network):
+        collector = MetricsCollector()
+        collector.record_rejected(make_order(small_network, 0, 24))
+        row = collector.finalize("alg", "TEST", 0.0, 0.0).summary_row()
+        assert {"algorithm", "dataset", "orders", "served", "extra_time",
+                "unified_cost", "service_rate", "running_time"} <= set(row)
+
+    def test_order_id_bookkeeping(self, small_network):
+        collector = MetricsCollector()
+        order = make_order(small_network, 0, 24)
+        collector.record_rejected(order)
+        assert collector.accounted_orders() == 1
+        assert collector.order_ids() == {order.order_id}

@@ -1,0 +1,189 @@
+"""Unit tests for Route and Group cost accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ExtraTimeWeights
+from repro.exceptions import RoutingError
+from repro.model.group import Group, orders_by_id
+from repro.model.route import Route, RouteStop, StopKind
+from tests.conftest import make_order
+
+
+def _pair_route(network, first, second):
+    """Route p1 -> p2 -> d1 -> d2."""
+    stops = [
+        RouteStop(first.pickup, first.order_id, StopKind.PICKUP),
+        RouteStop(second.pickup, second.order_id, StopKind.PICKUP),
+        RouteStop(first.dropoff, first.order_id, StopKind.DROPOFF),
+        RouteStop(second.dropoff, second.order_id, StopKind.DROPOFF),
+    ]
+    return Route(stops, network)
+
+
+class TestRoute:
+    def test_empty_route_rejected(self, small_network):
+        with pytest.raises(RoutingError):
+            Route([], small_network)
+
+    def test_total_travel_time_sums_legs(self, small_network):
+        order = make_order(small_network, 0, 2)
+        route = Route(
+            [
+                RouteStop(0, order.order_id, StopKind.PICKUP),
+                RouteStop(2, order.order_id, StopKind.DROPOFF),
+            ],
+            small_network,
+        )
+        assert route.total_travel_time == pytest.approx(
+            small_network.travel_time(0, 2)
+        )
+
+    def test_sub_route_time_for_shared_route(self, small_network):
+        first = make_order(small_network, 0, 2)
+        second = make_order(small_network, 1, 3)
+        route = _pair_route(small_network, first, second)
+        expected_first = small_network.travel_time(0, 1) + small_network.travel_time(
+            1, 2
+        )
+        assert route.sub_route_time(first.order_id) == pytest.approx(expected_first)
+        assert route.sub_route_time(second.order_id) == pytest.approx(
+            route.total_travel_time
+        )
+
+    def test_detour_time_is_non_negative(self, small_network):
+        first = make_order(small_network, 0, 2)
+        second = make_order(small_network, 1, 3)
+        route = _pair_route(small_network, first, second)
+        assert route.detour_time(first) >= 0.0
+        assert route.detour_time(second) >= 0.0
+
+    def test_detour_zero_on_direct_route(self, small_network):
+        order = make_order(small_network, 0, 5)
+        route = Route(
+            [
+                RouteStop(0, order.order_id, StopKind.PICKUP),
+                RouteStop(5, order.order_id, StopKind.DROPOFF),
+            ],
+            small_network,
+        )
+        assert route.detour_time(order) == pytest.approx(0.0)
+
+    def test_missing_stop_raises(self, small_network):
+        order = make_order(small_network, 0, 2)
+        other = make_order(small_network, 1, 3)
+        route = Route(
+            [
+                RouteStop(0, order.order_id, StopKind.PICKUP),
+                RouteStop(2, order.order_id, StopKind.DROPOFF),
+            ],
+            small_network,
+        )
+        with pytest.raises(RoutingError):
+            route.pickup_index(other.order_id)
+        with pytest.raises(RoutingError):
+            route.dropoff_index(other.order_id)
+
+    def test_max_onboard_riders(self, small_network):
+        first = make_order(small_network, 0, 2, riders=2)
+        second = make_order(small_network, 1, 3, riders=1)
+        route = _pair_route(small_network, first, second)
+        assert route.max_onboard_riders([first, second]) == 3
+
+    def test_order_ids_in_first_visit_order(self, small_network):
+        first = make_order(small_network, 0, 2)
+        second = make_order(small_network, 1, 3)
+        route = _pair_route(small_network, first, second)
+        assert route.order_ids() == [first.order_id, second.order_id]
+
+
+class TestGroup:
+    def test_requires_route_members_to_match(self, small_network):
+        first = make_order(small_network, 0, 2)
+        second = make_order(small_network, 1, 3)
+        route = _pair_route(small_network, first, second)
+        with pytest.raises(RoutingError):
+            Group(orders=(first,), route=route)
+
+    def test_average_extra_time_combines_detour_and_response(self, small_network):
+        first = make_order(small_network, 0, 2, release=0.0)
+        second = make_order(small_network, 1, 3, release=30.0)
+        route = _pair_route(small_network, first, second)
+        group = Group(orders=(first, second), route=route)
+        dispatch_time = 60.0
+        manual = 0.0
+        for order in (first, second):
+            manual += route.detour_time(order) + (dispatch_time - order.release_time)
+        assert group.total_extra_time(dispatch_time) == pytest.approx(manual)
+        assert group.average_extra_time(dispatch_time) == pytest.approx(manual / 2)
+
+    def test_weights_scale_extra_time(self, small_network):
+        first = make_order(small_network, 0, 2, release=0.0)
+        route = Route(
+            [
+                RouteStop(0, first.order_id, StopKind.PICKUP),
+                RouteStop(2, first.order_id, StopKind.DROPOFF),
+            ],
+            small_network,
+        )
+        group = Group(
+            orders=(first,), route=route, weights=ExtraTimeWeights(alpha=0.0, beta=2.0)
+        )
+        assert group.extra_time(first, 10.0) == pytest.approx(20.0)
+
+    def test_expiration_time_is_latest_feasible_start(self, small_network):
+        first = make_order(small_network, 0, 2, release=0.0)
+        second = make_order(small_network, 1, 3, release=0.0)
+        route = _pair_route(small_network, first, second)
+        group = Group(orders=(first, second), route=route)
+        expiry = group.expiration_time(0.0)
+        expected = min(
+            order.deadline - route.sub_route_time(order.order_id)
+            for order in (first, second)
+        )
+        assert expiry == pytest.approx(expected)
+        assert group.is_feasible_at(expiry - 1.0)
+        assert not group.is_feasible_at(expiry + 1.0)
+
+    def test_earliest_timeout(self, small_network):
+        first = make_order(small_network, 0, 2, release=0.0)
+        second = make_order(small_network, 1, 3, release=50.0)
+        route = _pair_route(small_network, first, second)
+        group = Group(orders=(first, second), route=route)
+        assert group.earliest_timeout() == pytest.approx(
+            min(first.timeout_time, second.timeout_time)
+        )
+
+    def test_better_of_prefers_lower_extra_time(self, small_network):
+        solo = make_order(small_network, 0, 5, release=0.0)
+        solo_route = Route(
+            [
+                RouteStop(0, solo.order_id, StopKind.PICKUP),
+                RouteStop(5, solo.order_id, StopKind.DROPOFF),
+            ],
+            small_network,
+        )
+        solo_group = Group(orders=(solo,), route=solo_route)
+        first = make_order(small_network, 0, 2, release=0.0)
+        second = make_order(small_network, 13, 31, release=0.0)
+        pair_route = _pair_route(small_network, first, second)
+        pair_group = Group(orders=(first, second), route=pair_route)
+        best = Group.better_of(solo_group, pair_group, dispatch_time=0.0)
+        assert best is solo_group
+        assert Group.better_of(None, pair_group, 0.0) is pair_group
+        assert Group.better_of(solo_group, None, 0.0) is solo_group
+
+    def test_orders_by_id(self, small_network):
+        orders = [make_order(small_network, 0, 2), make_order(small_network, 1, 3)]
+        index = orders_by_id(orders)
+        assert set(index) == {order.order_id for order in orders}
+
+    def test_total_riders_and_contains(self, small_network):
+        first = make_order(small_network, 0, 2, riders=2)
+        second = make_order(small_network, 1, 3, riders=1)
+        route = _pair_route(small_network, first, second)
+        group = Group(orders=(first, second), route=route)
+        assert group.total_riders() == 3
+        assert group.contains(first.order_id)
+        assert not group.contains(999999)

@@ -1,0 +1,61 @@
+"""Unit tests for the Worker entity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.model.worker import Worker, WorkerStatus
+
+
+class TestWorker:
+    def test_requires_positive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            Worker(location=0, capacity=0)
+
+    def test_starts_idle(self):
+        worker = Worker(location=3, capacity=2)
+        assert worker.is_idle
+        assert worker.status is WorkerStatus.IDLE
+
+    def test_assign_marks_busy_and_moves(self):
+        worker = Worker(location=3, capacity=2)
+        worker.assign(end_location=9, finish_time=500.0)
+        assert not worker.is_idle
+        assert worker.location == 9
+        assert worker.busy_until == 500.0
+        assert worker.served_groups == 1
+
+    def test_cannot_assign_busy_worker(self):
+        worker = Worker(location=3, capacity=2)
+        worker.assign(end_location=9, finish_time=500.0)
+        with pytest.raises(ConfigurationError):
+            worker.assign(end_location=1, finish_time=900.0)
+
+    def test_release_if_done(self):
+        worker = Worker(location=3, capacity=2)
+        worker.assign(end_location=9, finish_time=500.0)
+        assert not worker.release_if_done(400.0)
+        assert worker.release_if_done(500.0)
+        assert worker.is_idle
+
+    def test_release_idle_worker_is_noop(self):
+        worker = Worker(location=3, capacity=2)
+        assert not worker.release_if_done(1000.0)
+
+    def test_clone_resets_nothing_but_shares_identity(self):
+        worker = Worker(location=3, capacity=2)
+        worker.assign(end_location=9, finish_time=500.0)
+        clone = worker.clone()
+        assert clone.worker_id == worker.worker_id
+        assert clone.is_idle
+        assert clone.location == worker.location
+        assert clone.capacity == worker.capacity
+
+    def test_equality_by_id(self):
+        worker = Worker(location=0, capacity=2)
+        assert worker == worker.clone()
+        assert worker != "something else"
+
+    def test_unique_ids(self):
+        assert Worker(location=0, capacity=2) != Worker(location=0, capacity=2)

@@ -1,0 +1,87 @@
+"""Unit tests for the spatial grid index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, UnknownNodeError
+from repro.network.grid import GridIndex
+
+
+class TestGridIndex:
+    def test_rejects_non_positive_size(self, small_network):
+        with pytest.raises(ConfigurationError):
+            GridIndex(small_network, size=0)
+
+    def test_every_node_gets_a_cell(self, small_network):
+        grid = GridIndex(small_network, size=3)
+        for node in small_network.nodes():
+            assert 0 <= grid.cell_of(node) < grid.num_cells
+
+    def test_unknown_node_raises(self, small_network):
+        grid = GridIndex(small_network, size=3)
+        with pytest.raises(UnknownNodeError):
+            grid.cell_of(123456)
+
+    def test_corner_cells(self, small_network):
+        grid = GridIndex(small_network, size=3)
+        # node 0 sits at (0, 0) -> cell 0; node 35 sits at (5, 5) -> last cell.
+        assert grid.cell_of(0) == 0
+        assert grid.cell_of(35) == grid.num_cells - 1
+
+    def test_cell_of_xy_clamps_out_of_bounds(self, small_network):
+        grid = GridIndex(small_network, size=3)
+        assert grid.cell_of_xy(-100.0, -100.0) == 0
+        assert grid.cell_of_xy(100.0, 100.0) == grid.num_cells - 1
+
+    def test_nodes_in_cell_round_trip(self, small_network):
+        grid = GridIndex(small_network, size=3)
+        for cell in range(grid.num_cells):
+            for node in grid.nodes_in_cell(cell):
+                assert grid.cell_of(node) == cell
+
+    def test_cell_coordinates_inverse(self, small_network):
+        grid = GridIndex(small_network, size=4)
+        for cell in range(grid.num_cells):
+            row, col = grid.cell_coordinates(cell)
+            assert row * grid.size + col == cell
+
+    def test_cell_coordinates_out_of_range(self, small_network):
+        grid = GridIndex(small_network, size=3)
+        with pytest.raises(ConfigurationError):
+            grid.cell_coordinates(grid.num_cells)
+
+    def test_neighbourhood_contains_self_first(self, small_network):
+        grid = GridIndex(small_network, size=3)
+        cells = list(grid.neighbourhood(4, rings=1))
+        assert cells[0] == 4
+
+    def test_neighbourhood_respects_bounds(self, small_network):
+        grid = GridIndex(small_network, size=3)
+        cells = list(grid.neighbourhood(0, rings=1))
+        assert all(0 <= cell < grid.num_cells for cell in cells)
+        # corner cell has itself plus three neighbours
+        assert len(cells) == 4
+
+    def test_neighbourhood_full_coverage(self, small_network):
+        grid = GridIndex(small_network, size=3)
+        cells = set(grid.neighbourhood(4, rings=2))
+        assert cells == set(range(grid.num_cells))
+
+    def test_density_counts_all_nodes(self, small_network):
+        grid = GridIndex(small_network, size=3)
+        nodes = small_network.nodes_sorted()
+        density = grid.density(nodes)
+        assert sum(density) == len(nodes)
+        assert len(density) == grid.num_cells
+
+    def test_density_empty_input(self, small_network):
+        grid = GridIndex(small_network, size=3)
+        assert sum(grid.density([])) == 0
+
+    def test_single_point_network_does_not_crash(self):
+        from repro.network.graph import build_network
+
+        network = build_network(nodes=[(0, 2.0, 3.0)], edges=[])
+        grid = GridIndex(network, size=5)
+        assert grid.cell_of(0) == 0

@@ -1,0 +1,174 @@
+"""Unit tests for the temporal shareability graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DuplicateOrderError, MissingOrderError
+from repro.core.shareability import TemporalShareabilityGraph
+from tests.conftest import make_order
+
+
+@pytest.fixture
+def graph(planner):
+    return TemporalShareabilityGraph(planner, capacity=4, max_group_size=3)
+
+
+class TestInsertionAndEdges:
+    def test_insert_creates_node(self, graph, small_network):
+        order = make_order(small_network, 0, 5)
+        graph.insert_order(order, 0.0)
+        assert order.order_id in graph
+        assert len(graph) == 1
+
+    def test_duplicate_insert_rejected(self, graph, small_network):
+        order = make_order(small_network, 0, 5)
+        graph.insert_order(order, 0.0)
+        with pytest.raises(DuplicateOrderError):
+            graph.insert_order(order, 1.0)
+
+    def test_shareable_pair_gets_an_edge(self, graph, small_network):
+        first = make_order(small_network, 0, 24)
+        second = make_order(small_network, 6, 30)
+        graph.insert_order(first, 0.0)
+        graph.insert_order(second, 5.0)
+        assert graph.number_of_edges() == 1
+        assert second.order_id in graph.neighbours(first.order_id)
+
+    def test_far_apart_pair_gets_no_edge(self, graph, small_network):
+        first = make_order(small_network, 0, 1, deadline_scale=1.1)
+        second = make_order(small_network, 35, 34, deadline_scale=1.1)
+        graph.insert_order(first, 0.0)
+        graph.insert_order(second, 0.0)
+        assert graph.number_of_edges() == 0
+
+    def test_edge_expiration_time_is_in_the_future(self, graph, small_network):
+        first = make_order(small_network, 0, 24)
+        second = make_order(small_network, 6, 30)
+        graph.insert_order(first, 0.0)
+        graph.insert_order(second, 0.0)
+        for edge in graph.edges():
+            assert edge.expires_at > 0.0
+
+    def test_unknown_order_queries_raise(self, graph):
+        with pytest.raises(MissingOrderError):
+            graph.neighbours(999)
+        with pytest.raises(MissingOrderError):
+            graph.best_group(999)
+        with pytest.raises(MissingOrderError):
+            graph.remove_order(999, 0.0)
+        with pytest.raises(MissingOrderError):
+            graph.order(999)
+
+
+class TestBestGroups:
+    def test_unpaired_order_has_no_best_group(self, graph, small_network):
+        order = make_order(small_network, 0, 5)
+        graph.insert_order(order, 0.0)
+        assert graph.best_group(order.order_id) is None
+
+    def test_paired_orders_share_best_group(self, graph, small_network):
+        first = make_order(small_network, 0, 24)
+        second = make_order(small_network, 6, 30)
+        graph.insert_order(first, 0.0)
+        graph.insert_order(second, 0.0)
+        group = graph.best_group(first.order_id)
+        assert group is not None
+        assert group.order_ids() == {first.order_id, second.order_id}
+
+    def test_best_group_is_best_among_candidates(self, graph, small_network):
+        anchor = make_order(small_network, 0, 24)
+        close = make_order(small_network, 6, 30)
+        farther = make_order(small_network, 4, 28)
+        graph.insert_order(anchor, 0.0)
+        graph.insert_order(close, 0.0)
+        graph.insert_order(farther, 0.0)
+        best = graph.best_group(anchor.order_id)
+        assert best is not None
+        candidates = []
+        for clique in graph.cliques_containing(anchor.order_id, 0.0):
+            members = [graph.order(order_id) for order_id in clique]
+            planned = graph._planner.try_plan(members, 4, 0.0)
+            if planned is not None:
+                candidates.append(clique)
+        # The chosen group's average extra time is minimal among validated cliques.
+        assert best.order_ids() in [frozenset(c) for c in candidates]
+
+    def test_singleton_group_helper(self, graph, small_network):
+        order = make_order(small_network, 0, 5)
+        graph.insert_order(order, 0.0)
+        singleton = graph.singleton_group(order.order_id, 0.0)
+        assert singleton is not None
+        assert len(singleton) == 1
+        # Once the deadline cannot be met, no singleton group exists either.
+        assert graph.singleton_group(order.order_id, order.deadline) is None
+
+
+class TestRemovalAndExpiry:
+    def test_remove_order_cleans_edges(self, graph, small_network):
+        first = make_order(small_network, 0, 24)
+        second = make_order(small_network, 6, 30)
+        graph.insert_order(first, 0.0)
+        graph.insert_order(second, 0.0)
+        graph.remove_order(first.order_id, 1.0)
+        assert first.order_id not in graph
+        assert graph.number_of_edges() == 0
+        assert graph.best_group(second.order_id) is None
+
+    def test_remove_orders_bulk(self, graph, small_network):
+        orders = [make_order(small_network, 0, 24), make_order(small_network, 6, 30)]
+        for order in orders:
+            graph.insert_order(order, 0.0)
+        removed = graph.remove_orders([order.order_id for order in orders], 1.0)
+        assert len(removed) == 2
+        assert len(graph) == 0
+
+    def test_expire_edges_drops_stale_pairs(self, graph, small_network):
+        first = make_order(small_network, 0, 24)
+        second = make_order(small_network, 6, 30)
+        graph.insert_order(first, 0.0)
+        graph.insert_order(second, 0.0)
+        assert graph.number_of_edges() == 1
+        expired = graph.expire_edges(first.deadline + second.deadline)
+        assert len(expired) == 1
+        assert graph.number_of_edges() == 0
+        assert graph.best_group(first.order_id) is None
+
+    def test_expire_edges_keeps_live_pairs(self, graph, small_network):
+        first = make_order(small_network, 0, 24)
+        second = make_order(small_network, 6, 30)
+        graph.insert_order(first, 0.0)
+        graph.insert_order(second, 0.0)
+        assert graph.expire_edges(1.0) == []
+        assert graph.number_of_edges() == 1
+
+
+class TestCliques:
+    def test_cliques_require_pairwise_edges(self, graph, small_network):
+        # Three mutually close orders -> a triangle -> pair and triple cliques.
+        orders = [
+            make_order(small_network, 0, 24),
+            make_order(small_network, 6, 30),
+            make_order(small_network, 6, 18),
+        ]
+        for order in orders:
+            graph.insert_order(order, 0.0)
+        cliques = list(graph.cliques_containing(orders[0].order_id, 0.0))
+        sizes = sorted(len(clique) for clique in cliques)
+        assert 2 in sizes
+        if graph.number_of_edges() == 3:
+            assert 3 in sizes
+
+    def test_clique_members_are_pairwise_adjacent(self, graph, small_network):
+        orders = [
+            make_order(small_network, 0, 24),
+            make_order(small_network, 6, 30),
+            make_order(small_network, 6, 18),
+        ]
+        for order in orders:
+            graph.insert_order(order, 0.0)
+        import itertools
+
+        for clique in graph.cliques_containing(orders[0].order_id, 0.0):
+            for a, b in itertools.combinations(clique, 2):
+                assert b in graph.neighbours(a)
