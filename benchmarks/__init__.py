@@ -1,0 +1,7 @@
+"""Benchmark harness package.
+
+This ``__init__`` exists so pytest imports the benchmark modules as the
+``benchmarks`` package, which makes their ``from .conftest import ...``
+relative imports resolve when running ``pytest benchmarks`` from the
+repository root.
+"""

@@ -1,0 +1,67 @@
+"""Distance-oracle benchmark: query-time speedup of the new backends.
+
+The acceptance bar for the oracle subsystem is that a precomputing
+backend answers the default workload's shortest-path query mix at least
+2x faster than the seed behaviour (``LazyDijkstraOracle``), with results
+that agree pair-for-pair.  ``benchmark_oracles`` already replays an
+identical, realistically shaped query sequence (worker approach legs,
+pickup-gap probes, route legs) against fresh instances of every backend
+and cross-checks the answers, so this module simply runs it at the
+default benchmark scale, prints the table, and asserts the speedup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.benchmarking import (
+    benchmark_oracles,
+    format_oracle_bench_table,
+)
+
+from .conftest import bench_config
+
+#: Query count of the timed mix; large enough that per-query dispatch
+#: overhead dominates timer noise on every backend.
+_NUM_QUERIES = 4000
+
+
+@pytest.mark.parametrize("dataset", ("CDC", "NYC"))
+def test_oracle_backends_speedup(dataset):
+    """Matrix oracle must answer the default workload >=2x faster than lazy."""
+    config = bench_config(dataset)
+    results = {
+        result.backend: result
+        for result in benchmark_oracles(
+            dataset, config, backends=("lazy", "landmark", "matrix"),
+            num_queries=_NUM_QUERIES,
+        )
+    }
+    print()
+    print(
+        format_oracle_bench_table(
+            list(results.values()),
+            title=f"Distance-oracle benchmark ({dataset}, {_NUM_QUERIES} queries)",
+        )
+    )
+    lazy = results["lazy"]
+    matrix = results["matrix"]
+    assert matrix.query_seconds * 2.0 <= lazy.query_seconds, (
+        f"matrix backend answered in {matrix.query_seconds:.4f}s, "
+        f"needed <= half of lazy's {lazy.query_seconds:.4f}s"
+    )
+    # The precomputed backend never runs graph searches at query time.
+    assert matrix.hit_rate == pytest.approx(1.0)
+
+
+def test_oracle_query_benchmark(benchmark):
+    """pytest-benchmark regression tracking of the matrix query path."""
+    config = bench_config("CDC")
+    results = benchmark.pedantic(
+        lambda: benchmark_oracles(
+            "CDC", config, backends=("matrix",), num_queries=_NUM_QUERIES
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert results[0].num_queries == _NUM_QUERIES

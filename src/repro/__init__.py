@@ -28,7 +28,22 @@ from .exceptions import (
     RoutingError,
 )
 from .model import Group, Order, OrderOutcome, OrderStatus, Route, Worker
-from .network import RoadNetwork, GridIndex, grid_city, manhattan_like_city, example_network
+from .network import (
+    RoadNetwork,
+    GridIndex,
+    grid_city,
+    manhattan_like_city,
+    example_network,
+    DistanceOracle,
+    LazyDijkstraOracle,
+    LandmarkOracle,
+    MatrixOracle,
+    OracleStats,
+    available_backends,
+    configure_oracle,
+    create_oracle,
+    register_oracle,
+)
 from .routing import RoutePlanner
 from .core import (
     OrderPool,
@@ -85,6 +100,15 @@ __all__ = [
     "grid_city",
     "manhattan_like_city",
     "example_network",
+    "DistanceOracle",
+    "LazyDijkstraOracle",
+    "LandmarkOracle",
+    "MatrixOracle",
+    "OracleStats",
+    "available_backends",
+    "configure_oracle",
+    "create_oracle",
+    "register_oracle",
     "RoutePlanner",
     "OrderPool",
     "TemporalShareabilityGraph",

@@ -162,6 +162,17 @@ class GDPDispatcher(Dispatcher):
         base_stops = plan.stops
         base_cost = plan.scheduled_travel_time(now, self._network)
         start_time = max(now, plan.available_at)
+        # Batch-prime the oracle with every leg the candidate schedules
+        # below can touch.  The new dropoff only becomes a leg source
+        # when it is inserted before an existing stop, so an empty
+        # schedule skips it and stays one-Dijkstra cheap on the lazy
+        # backend.
+        nodes = {plan.current_node, order.pickup}
+        nodes.update(stop.node for stop in base_stops)
+        targets = set(nodes) | {order.dropoff}
+        if base_stops:
+            nodes.add(order.dropoff)
+        self._network.travel_times_many(nodes, targets)
         best: _Insertion | None = None
         positions = len(base_stops)
         for pickup_pos in range(positions + 1):

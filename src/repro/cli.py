@@ -6,7 +6,12 @@ Three subcommands cover the common workflows:
   print the comparison table (the Table III default experiment),
 * ``sweep``   — regenerate one of the paper's figures (vary orders,
   workers, deadline or capacity) as text tables,
-* ``example1`` — rerun the worked example of the introduction.
+* ``example1`` — rerun the worked example of the introduction,
+* ``bench``  — micro-benchmark the distance-oracle backends on a
+  realistic query mix and print the timing table.
+
+Every workload command accepts ``--oracle {lazy,landmark,matrix}`` to
+pick the shortest-path backend without touching any code.
 
 The CLI is intentionally a thin veneer over :mod:`repro.experiments` so
 everything it can do is equally reachable from Python.
@@ -23,9 +28,15 @@ from __future__ import annotations
 import argparse
 from typing import Sequence
 
+from .experiments.benchmarking import benchmark_oracles, format_oracle_bench_table
 from .experiments.config import default_config
-from .experiments.reporting import format_comparison_table, format_full_sweep_report
+from .experiments.reporting import (
+    format_comparison_table,
+    format_full_sweep_report,
+    format_oracle_stats_table,
+)
 from .experiments.runner import ALGORITHMS, run_comparison
+from .network.oracle import available_backends
 from .experiments.sweeps import (
     vary_capacity,
     vary_deadline,
@@ -84,7 +95,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("example1", help="rerun the worked example of Section I")
+
+    bench = subparsers.add_parser(
+        "bench", help="micro-benchmark the distance-oracle backends"
+    )
+    _add_workload_arguments(bench)
+    bench.add_argument(
+        "--queries",
+        type=_positive_int,
+        default=4000,
+        help="number of shortest-path queries to replay per backend",
+    )
+    bench.add_argument(
+        "--backends",
+        nargs="+",
+        default=None,
+        choices=list(available_backends()),
+        help="backends to time (default: all registered)",
+    )
     return parser
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return parsed
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -93,6 +129,12 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=None, help="number of workers")
     parser.add_argument("--horizon", type=float, default=None, help="horizon (s)")
     parser.add_argument("--seed", type=int, default=None, help="random seed")
+    parser.add_argument(
+        "--oracle",
+        default=None,
+        choices=list(available_backends()),
+        help="distance-oracle backend for shortest-path queries",
+    )
 
 
 def _config_from_args(args: argparse.Namespace):
@@ -105,6 +147,8 @@ def _config_from_args(args: argparse.Namespace):
         overrides["horizon"] = args.horizon
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if getattr(args, "oracle", None) is not None:
+        overrides["oracle_backend"] = args.oracle
     return default_config(args.dataset, **overrides)
 
 
@@ -114,7 +158,11 @@ def _run_compare(args: argparse.Namespace) -> str:
         args.dataset, config, algorithms=args.algorithms, use_rl=args.use_rl
     )
     title = f"Algorithm comparison ({args.dataset}, n={config.num_orders}, m={config.num_workers})"
-    return format_comparison_table(metrics, title=title)
+    output = format_comparison_table(metrics, title=title)
+    oracle_table = format_oracle_stats_table(metrics)
+    if oracle_table:
+        output += "\n\n" + oracle_table
+    return output
 
 
 def _run_sweep(args: argparse.Namespace) -> str:
@@ -133,6 +181,21 @@ def _run_example1() -> str:
     return "\n".join(lines)
 
 
+def _run_bench(args: argparse.Namespace) -> str:
+    config = _config_from_args(args)
+    results = benchmark_oracles(
+        args.dataset,
+        config,
+        backends=args.backends,
+        num_queries=args.queries,
+    )
+    title = (
+        f"Distance-oracle benchmark ({args.dataset}, {args.queries} queries, "
+        f"n={config.num_orders}, m={config.num_workers})"
+    )
+    return format_oracle_bench_table(results, title=title)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -140,6 +203,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         output = _run_compare(args)
     elif args.command == "sweep":
         output = _run_sweep(args)
+    elif args.command == "bench":
+        output = _run_bench(args)
     else:
         output = _run_example1()
     print(output)

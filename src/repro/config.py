@@ -73,6 +73,14 @@ class SimulationConfig:
         one passenger, Section VII-A).
     seed:
         Seed for every random decision made during the simulation.
+    oracle_backend:
+        Name of the distance-oracle backend answering shortest-path
+        queries (``"lazy"``, ``"landmark"``, ``"matrix"``, or any name
+        registered via ``repro.network.register_oracle``).
+    oracle_cache_size:
+        LRU bound of the lazy backend's per-source Dijkstra cache.
+    oracle_landmarks:
+        Number of ALT landmarks precomputed by the landmark backend.
     """
 
     num_orders: int = 2000
@@ -88,6 +96,9 @@ class SimulationConfig:
     weights: ExtraTimeWeights = field(default_factory=ExtraTimeWeights)
     max_group_size: int = 4
     seed: int = 7
+    oracle_backend: str = "lazy"
+    oracle_cache_size: int = 1024
+    oracle_landmarks: int = 8
 
     def __post_init__(self) -> None:
         if self.num_orders <= 0:
@@ -113,6 +124,20 @@ class SimulationConfig:
             raise ConfigurationError("horizon must be positive")
         if self.max_group_size < 1:
             raise ConfigurationError("max_group_size must be at least 1")
+        if self.oracle_cache_size < 1:
+            raise ConfigurationError("oracle_cache_size must be at least 1")
+        if self.oracle_landmarks < 1:
+            raise ConfigurationError("oracle_landmarks must be at least 1")
+        # Deferred import: the registry lives in the network layer, which
+        # does not import this module, so there is no cycle — but keep it
+        # local so merely importing repro.config stays dependency-free.
+        from .network.oracle.registry import ORACLE_BACKENDS
+
+        if self.oracle_backend not in ORACLE_BACKENDS:
+            raise ConfigurationError(
+                f"unknown oracle backend {self.oracle_backend!r}; "
+                f"available: {tuple(sorted(ORACLE_BACKENDS))}"
+            )
 
     def with_overrides(self, **overrides: Any) -> "SimulationConfig":
         """Return a copy with the given fields replaced.

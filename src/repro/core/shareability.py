@@ -149,11 +149,7 @@ class TemporalShareabilityGraph:
             raise DuplicateOrderError(order.order_id)
         self._orders[order.order_id] = order
         self._adjacency[order.order_id] = {}
-        for other in list(self._orders.values()):
-            if other.order_id == order.order_id:
-                continue
-            if not self._likely_shareable(order, other, now):
-                continue
+        for other in self._shareable_candidates(order, now):
             planned = self._planner.can_share(order, other, self._capacity, now)
             if planned is None:
                 continue
@@ -242,8 +238,8 @@ class TemporalShareabilityGraph:
                 if self._is_clique(candidate, now):
                     yield candidate
 
-    def _likely_shareable(self, first: Order, second: Order, now: float) -> bool:
-        """Cheap pruning test run before the exact pairwise route planning.
+    def _shareable_candidates(self, order: Order, now: float) -> list[Order]:
+        """Pooled orders that pass the cheap pruning test against ``order``.
 
         Two orders can only share usefully if one pickup lies within the
         other's detour budget; orders whose pickups are farther apart
@@ -253,18 +249,40 @@ class TemporalShareabilityGraph:
         a necessary condition only), so pruning marginal pairs here does
         not affect correctness — every surviving candidate group is
         still validated by the route planner.
+
+        The pickup gaps of every slack-feasible partner are fetched with
+        two batched ``travel_times_many`` calls (new pickup -> partner
+        pickups and back), which lets precomputing oracle backends
+        answer the whole arrival in one block instead of 2(n-1) scalar
+        queries.
         """
-        slack_first = first.deadline - now - first.shortest_time
-        slack_second = second.deadline - now - second.shortest_time
-        if slack_first < 0 or slack_second < 0:
-            return False
-        budget = max(slack_first, slack_second)
+        slack_new = order.deadline - now - order.shortest_time
+        if slack_new < 0:
+            return []
+        partners: list[tuple[Order, float]] = []
+        for other in self._orders.values():
+            if other.order_id == order.order_id:
+                continue
+            slack_other = other.deadline - now - other.shortest_time
+            if slack_other < 0:
+                continue
+            partners.append((other, max(slack_new, slack_other)))
+        if not partners:
+            return []
         network = self._planner.network
-        pickup_gap = min(
-            network.travel_time(first.pickup, second.pickup),
-            network.travel_time(second.pickup, first.pickup),
-        )
-        return pickup_gap <= budget
+        pickups = [other.pickup for other, _ in partners]
+        outward = network.travel_times_many([order.pickup], pickups)
+        inward = network.travel_times_many(pickups, [order.pickup])
+        inf = float("inf")
+        candidates = []
+        for other, budget in partners:
+            pickup_gap = min(
+                outward.get((order.pickup, other.pickup), inf),
+                inward.get((other.pickup, order.pickup), inf),
+            )
+            if pickup_gap <= budget:
+                candidates.append(other)
+        return candidates
 
     def _is_clique(self, order_ids: tuple[int, ...], now: float) -> bool:
         for first, second in itertools.combinations(order_ids, 2):

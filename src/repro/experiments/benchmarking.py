@@ -1,0 +1,177 @@
+"""Micro-benchmark of the distance-oracle backends on a real workload.
+
+``benchmark_oracles`` replays the shortest-path query mix an actual
+simulation issues — approach legs from worker locations, pickup-to-
+pickup shareability probes, route legs between stop nodes — against a
+fresh instance of every backend, and reports setup time, query time and
+cache behaviour.  The ``repro bench`` CLI subcommand and the
+``benchmarks/test_bench_oracle.py`` regression benchmark both call it.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..config import SimulationConfig
+from ..datasets.synthetic import Workload
+from ..datasets.workloads import build_workload
+from ..exceptions import ConfigurationError, UnreachableError
+from ..network.oracle import available_backends, create_oracle
+from .config import default_config
+
+
+@dataclass(frozen=True)
+class OracleBenchResult:
+    """Timing and cache behaviour of one backend over the query mix."""
+
+    backend: str
+    setup_seconds: float
+    query_seconds: float
+    num_queries: int
+    hit_rate: float
+    sssp_runs: int
+
+    @property
+    def queries_per_second(self) -> float:
+        """Query throughput (guarding the division for pathological runs)."""
+        if self.query_seconds <= 0.0:
+            return float("inf")
+        return self.num_queries / self.query_seconds
+
+
+def realistic_query_mix(
+    dataset: str, config: SimulationConfig, num_queries: int
+) -> tuple[list[tuple[int, int]], Workload]:
+    """Build ``(source, target)`` pairs shaped like the dispatch hot path.
+
+    Returns the pairs plus the generated :class:`Workload` (whose
+    ``network.graph`` callers build oracles over).  Roughly a third of
+    the queries are worker-approach legs, a third shareability pickup
+    gaps, and a third route legs; pairs repeat the way pooled orders
+    re-probe each other.
+    """
+    workload = build_workload(dataset, config)
+    rng = random.Random(config.seed)
+    pickups = [order.pickup for order in workload.orders]
+    dropoffs = [order.dropoff for order in workload.orders]
+    worker_locations = [worker.location for worker in workload.workers]
+    pairs: list[tuple[int, int]] = []
+    while len(pairs) < num_queries:
+        kind = rng.random()
+        if kind < 0.34:
+            pairs.append((rng.choice(worker_locations), rng.choice(pickups)))
+        elif kind < 0.67:
+            pairs.append((rng.choice(pickups), rng.choice(pickups)))
+        else:
+            source = rng.choice(pickups + dropoffs)
+            target = rng.choice(pickups + dropoffs)
+            pairs.append((source, target))
+    return pairs, workload
+
+
+def benchmark_oracles(
+    dataset: str = "CDC",
+    config: SimulationConfig | None = None,
+    backends: Sequence[str] | None = None,
+    num_queries: int = 4000,
+) -> list[OracleBenchResult]:
+    """Time every backend over the same realistic query mix.
+
+    Each backend gets a *fresh* oracle (cold caches) over the same
+    network, answers the same pairs in the same order, and its answers
+    are cross-checked against the first backend's for agreement.
+    """
+    if num_queries < 1:
+        raise ConfigurationError("num_queries must be at least 1")
+    config = config or default_config(dataset)
+    pairs, workload = realistic_query_mix(dataset, config, num_queries)
+    graph = workload.network.graph
+    hint = workload.active_nodes()
+    if backends is None:
+        # The seed backend goes first so the table's speedup column (and
+        # the agreement cross-check) is measured against it.
+        names = sorted(available_backends(), key=lambda n: (n != "lazy", n))
+    else:
+        names = list(backends)
+    results: list[OracleBenchResult] = []
+    reference: list[float | None] | None = None
+    for name in names:
+        started = time.perf_counter()
+        oracle = create_oracle(
+            name,
+            graph,
+            nodes=hint,
+            cache_size=config.oracle_cache_size,
+            num_landmarks=config.oracle_landmarks,
+            seed=config.seed,
+        )
+        setup = time.perf_counter() - started
+        answers: list[float | None] = []
+        started = time.perf_counter()
+        for source, target in pairs:
+            try:
+                answers.append(oracle.travel_time(source, target))
+            except UnreachableError:
+                answers.append(None)
+        elapsed = time.perf_counter() - started
+        if reference is None:
+            reference = answers
+        else:
+            for got, want in zip(answers, reference):
+                if (got is None) != (want is None):
+                    raise AssertionError(f"backend {name} disagrees on reachability")
+                if got is not None and abs(got - want) > 1e-6 * max(want, 1.0):
+                    raise AssertionError(
+                        f"backend {name} disagrees: {got} != {want}"
+                    )
+        stats = oracle.stats()
+        results.append(
+            OracleBenchResult(
+                backend=name,
+                setup_seconds=setup,
+                query_seconds=elapsed,
+                num_queries=len(pairs),
+                hit_rate=stats.hit_rate,
+                sssp_runs=stats.sssp_runs,
+            )
+        )
+    return results
+
+
+def format_oracle_bench_table(
+    results: Sequence[OracleBenchResult], title: str = "Distance-oracle benchmark"
+) -> str:
+    """Render backend timings as an aligned text table."""
+    baseline = results[0].query_seconds if results else 0.0
+    columns = [
+        ("backend", lambda r: r.backend),
+        ("setup (s)", lambda r: f"{r.setup_seconds:.3f}"),
+        ("queries (s)", lambda r: f"{r.query_seconds:.3f}"),
+        (
+            "us/query",
+            lambda r: (
+                f"{1e6 * r.query_seconds / r.num_queries:.1f}"
+                if r.num_queries
+                else "n/a"
+            ),
+        ),
+        ("hit rate", lambda r: f"{r.hit_rate:.3f}"),
+        ("sssp runs", lambda r: f"{r.sssp_runs}"),
+        (
+            "speedup",
+            lambda r: (
+                f"{baseline / r.query_seconds:.1f}x" if r.query_seconds > 0 else "inf"
+            ),
+        ),
+    ]
+    rows = [[header for header, _ in columns]]
+    for result in results:
+        rows.append([extract(result) for _, extract in columns])
+    widths = [max(len(row[idx]) for row in rows) for idx in range(len(columns))]
+    lines = [title, "-" * len(title)]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)

@@ -72,6 +72,36 @@ def format_full_sweep_report(sweep: SweepResult) -> str:
     return "\n\n".join(sections)
 
 
+def format_oracle_stats_table(
+    metrics_list: Sequence[SimulationMetrics],
+    title: str = "Distance-oracle cache statistics",
+) -> str:
+    """Render per-run oracle counters; empty string when none were recorded."""
+    rows_source = [m for m in metrics_list if m.oracle_stats]
+    if not rows_source:
+        return ""
+
+    def _get(m: SimulationMetrics, key: str, default: float = 0.0):
+        return m.oracle_stats.get(key, default)  # type: ignore[union-attr]
+
+    columns = [
+        ("algorithm", lambda m: m.algorithm),
+        ("backend", lambda m: str(_get(m, "backend", "?"))),
+        ("queries", lambda m: f"{int(_get(m, 'queries'))}"),
+        ("hit rate", lambda m: f"{float(_get(m, 'hit_rate')):.3f}"),
+        ("sssp runs", lambda m: f"{int(_get(m, 'sssp_runs'))}"),
+        ("p2p searches", lambda m: f"{int(_get(m, 'pp_searches'))}"),
+    ]
+    rows = [[header for header, _ in columns]]
+    for metrics in rows_source:
+        rows.append([extractor(metrics) for _, extractor in columns])
+    widths = [max(len(row[index]) for row in rows) for index in range(len(columns))]
+    lines = [title, "-" * len(title)]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
 def format_comparison_table(
     metrics_list: Sequence[SimulationMetrics], title: str = "Algorithm comparison"
 ) -> str:

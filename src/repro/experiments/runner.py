@@ -30,6 +30,7 @@ from ..datasets.synthetic import Workload
 from ..datasets.workloads import build_workload
 from ..exceptions import ConfigurationError
 from ..network.grid import GridIndex
+from ..network.oracle import configure_oracle
 from ..routing.planner import RoutePlanner
 from ..simulation.dispatcher import Dispatcher
 from ..simulation.engine import Simulator
@@ -62,6 +63,22 @@ def _fresh_fleet(workload: Workload, config: SimulationConfig) -> WorkerFleet:
     grid = GridIndex(workload.network, size=config.grid_size)
     return WorkerFleet(
         [worker.clone() for worker in workload.workers], workload.network, grid
+    )
+
+
+def active_nodes(workload: Workload) -> list[int]:
+    """Nodes the dispatch hot path will query (see ``Workload.active_nodes``)."""
+    return workload.active_nodes()
+
+
+def prepare_network(workload: Workload, config: SimulationConfig):
+    """Attach the configured distance-oracle backend to the workload's network.
+
+    ``Simulator`` does this automatically; the helper exists for callers
+    that want the oracle warm (or inspectable) before a run starts.
+    """
+    return configure_oracle(
+        workload.network, config, nodes=workload.active_nodes(), reuse=True
     )
 
 

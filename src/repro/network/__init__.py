@@ -1,6 +1,6 @@
 """Road-network substrate: graphs, shortest paths, spatial indexing."""
 
-from .graph import RoadNetwork
+from .graph import RoadNetwork, build_network
 from .grid import GridIndex
 from .generators import (
     grid_city,
@@ -8,12 +8,33 @@ from .generators import (
     radial_city,
     example_network,
 )
+from .oracle import (
+    DistanceOracle,
+    LandmarkOracle,
+    LazyDijkstraOracle,
+    MatrixOracle,
+    OracleStats,
+    available_backends,
+    configure_oracle,
+    create_oracle,
+    register_oracle,
+)
 
 __all__ = [
     "RoadNetwork",
+    "build_network",
     "GridIndex",
     "grid_city",
     "manhattan_like_city",
     "radial_city",
     "example_network",
+    "DistanceOracle",
+    "LazyDijkstraOracle",
+    "LandmarkOracle",
+    "MatrixOracle",
+    "OracleStats",
+    "available_backends",
+    "configure_oracle",
+    "create_oracle",
+    "register_oracle",
 ]

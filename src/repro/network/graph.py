@@ -7,20 +7,29 @@ The WATTER algorithms only ever ask two questions of the road network:
 * node coordinates — used by the spatial grid index and the MDP state
   featurisation.
 
-``RoadNetwork`` wraps a :class:`networkx.DiGraph` and answers both with
-aggressive caching: every Dijkstra run from a source is stored so later
-queries from the same source are dictionary lookups.  Workloads query
-costs for a comparatively small set of pickup/dropoff nodes over and
-over, which makes the per-source cache very effective.
+``RoadNetwork`` wraps a :class:`networkx.DiGraph` and delegates every
+shortest-path question to a pluggable
+:class:`~repro.network.oracle.DistanceOracle`.  The default backend is
+:class:`~repro.network.oracle.LazyDijkstraOracle` — run one Dijkstra per
+unseen source and cache the distance map (LRU-bounded) — which matches
+the access pattern of small workloads.  Heavier workloads swap in the
+``landmark`` (ALT bidirectional A*) or ``matrix`` (precomputed dense
+rows) backend via :meth:`use_backend`, ``SimulationConfig`` or the CLI
+without any dispatcher code changing.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+from typing import Iterable, Iterator, Mapping, TYPE_CHECKING
 
 import networkx as nx
 
 from ..exceptions import NetworkError, UnknownNodeError, UnreachableError
+from .oracle.base import CacheInfo, OracleStats
+from .oracle.lazy import DEFAULT_MAX_SOURCES, LazyDijkstraOracle
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .oracle.base import DistanceOracle
 
 
 class RoadNetwork:
@@ -32,9 +41,21 @@ class RoadNetwork:
         A ``networkx.DiGraph`` whose edges carry a ``travel_time``
         attribute (seconds) and whose nodes carry ``x``/``y``
         coordinates.  Undirected graphs are accepted and converted.
+    oracle:
+        Distance oracle answering shortest-path queries.  Defaults to a
+        :class:`LazyDijkstraOracle` with an LRU cache of
+        ``cache_size`` sources.
+    cache_size:
+        LRU bound of the default oracle's per-source cache (``None`` =
+        unbounded).  Ignored when ``oracle`` is given.
     """
 
-    def __init__(self, graph: nx.Graph) -> None:
+    def __init__(
+        self,
+        graph: nx.Graph,
+        oracle: "DistanceOracle | None" = None,
+        cache_size: int | None = DEFAULT_MAX_SOURCES,
+    ) -> None:
         if graph.number_of_nodes() == 0:
             raise NetworkError("a road network needs at least one node")
         directed = graph.to_directed() if not graph.is_directed() else graph
@@ -51,7 +72,11 @@ class RoadNetwork:
             if "x" not in data or "y" not in data:
                 raise NetworkError(f"node {node!r} is missing x/y coordinates")
         self._graph = directed
-        self._sssp_cache: dict[int, dict[int, float]] = {}
+        self._oracle: "DistanceOracle" = (
+            oracle
+            if oracle is not None
+            else LazyDijkstraOracle(directed, max_sources=cache_size)
+        )
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -88,6 +113,36 @@ class RoadNetwork:
         return min(xs), min(ys), max(xs), max(ys)
 
     # ------------------------------------------------------------------
+    # distance-oracle management
+    # ------------------------------------------------------------------
+    @property
+    def oracle(self) -> "DistanceOracle":
+        """The distance oracle currently answering shortest-path queries."""
+        return self._oracle
+
+    def set_oracle(self, oracle: "DistanceOracle") -> None:
+        """Swap in a different distance oracle (must wrap this graph)."""
+        if oracle.graph is not self._graph:
+            raise NetworkError(
+                "the oracle was built over a different graph; build it over "
+                "RoadNetwork.graph"
+            )
+        self._oracle = oracle
+
+    def use_backend(self, name: str, **options) -> "DistanceOracle":
+        """Build the named registry backend over this graph and attach it.
+
+        ``options`` are forwarded to the backend factory (``nodes``,
+        ``cache_size``, ``num_landmarks``, ``seed``).  Returns the new
+        oracle.
+        """
+        from .oracle.registry import create_oracle
+
+        oracle = create_oracle(name, self._graph, **options)
+        self._oracle = oracle
+        return oracle
+
+    # ------------------------------------------------------------------
     # shortest paths
     # ------------------------------------------------------------------
     def travel_time(self, source: int, target: int) -> float:
@@ -104,15 +159,30 @@ class RoadNetwork:
         self._require_node(target)
         if source == target:
             return 0.0
-        distances = self._distances_from(source)
-        if target not in distances:
-            raise UnreachableError(source, target)
-        return distances[target]
+        return self._oracle.travel_time(source, target)
 
     def travel_times_from(self, source: int) -> Mapping[int, float]:
         """All shortest travel times from ``source`` (cached)."""
         self._require_node(source)
-        return self._distances_from(source)
+        return self._oracle.travel_times_from(source)
+
+    def travel_times_many(
+        self, sources: Iterable[int], targets: Iterable[int]
+    ) -> dict[tuple[int, int], float]:
+        """Batched travel times over the ``sources x targets`` product.
+
+        Returns ``(source, target) -> seconds``; unreachable pairs are
+        absent from the result.  This is the API the route planner, the
+        shareability graph and the fleet use so precomputing backends
+        can answer whole query blocks at once.
+        """
+        source_list = list(dict.fromkeys(sources))
+        target_list = list(dict.fromkeys(targets))
+        for node in source_list:
+            self._require_node(node)
+        for node in target_list:
+            self._require_node(node)
+        return self._oracle.travel_times_many(source_list, target_list)
 
     def shortest_path(self, source: int, target: int) -> list[int]:
         """Return the node sequence of a shortest path."""
@@ -131,11 +201,19 @@ class RoadNetwork:
         self._require_node(target)
         if source == target:
             return True
-        return target in self._distances_from(source)
+        return self._oracle.is_reachable(source, target)
 
     def clear_cache(self) -> None:
-        """Drop all cached single-source shortest-path results."""
-        self._sssp_cache.clear()
+        """Drop the oracle's cached shortest-path state."""
+        self._oracle.clear()
+
+    def cache_info(self) -> CacheInfo:
+        """``lru_cache``-style summary of the oracle's main cache."""
+        return self._oracle.cache_info()
+
+    def oracle_stats(self) -> OracleStats:
+        """Query/cache counters of the active oracle backend."""
+        return self._oracle.stats()
 
     # ------------------------------------------------------------------
     # sampling helpers
@@ -164,15 +242,6 @@ class RoadNetwork:
     def _require_node(self, node_id: int) -> None:
         if node_id not in self._graph:
             raise UnknownNodeError(node_id)
-
-    def _distances_from(self, source: int) -> dict[int, float]:
-        cached = self._sssp_cache.get(source)
-        if cached is None:
-            cached = nx.single_source_dijkstra_path_length(
-                self._graph, source, weight="travel_time"
-            )
-            self._sssp_cache[source] = cached
-        return cached
 
 
 def build_network(

@@ -1,0 +1,44 @@
+"""Pluggable shortest-path distance oracles for the routing hot path.
+
+Three built-in backends cover the setup-cost/query-cost spectrum:
+
+==========  =======================  =====================================
+name        setup                    point-to-point query
+==========  =======================  =====================================
+``lazy``    none                     one Dijkstra per unseen source, then
+                                     O(1) (LRU-bounded per-source cache)
+``landmark``  ``O(k)`` Dijkstras     bidirectional A* guided by landmark
+                                     (ALT) lower bounds
+``matrix``  one Dijkstra per         O(1) dense-row lookup, batched
+            active source            refresh for unseen sources
+==========  =======================  =====================================
+
+Select a backend through ``SimulationConfig(oracle_backend=...)``, the
+``--oracle`` CLI flag, or directly via ``RoadNetwork.use_backend(name)``.
+"""
+
+from .base import CacheInfo, DistanceOracle, OracleStats
+from .landmark import LandmarkOracle
+from .lazy import LazyDijkstraOracle
+from .matrix import MatrixOracle
+from .registry import (
+    ORACLE_BACKENDS,
+    available_backends,
+    configure_oracle,
+    create_oracle,
+    register_oracle,
+)
+
+__all__ = [
+    "CacheInfo",
+    "DistanceOracle",
+    "OracleStats",
+    "LazyDijkstraOracle",
+    "LandmarkOracle",
+    "MatrixOracle",
+    "ORACLE_BACKENDS",
+    "available_backends",
+    "configure_oracle",
+    "create_oracle",
+    "register_oracle",
+]

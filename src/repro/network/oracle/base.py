@@ -1,0 +1,234 @@
+"""Distance-oracle abstraction for shortest travel-time queries.
+
+Every algorithm in the reproduction bottoms out in "how long does it
+take to drive from node a to node b?".  The answer can be produced in
+several ways with very different cost profiles:
+
+* run Dijkstra on demand and cache the result (cheap setup, expensive
+  cold queries),
+* precompute auxiliary data (landmarks, dense matrices) and answer
+  point-to-point queries in sub-linear or constant time (expensive
+  setup, very cheap queries).
+
+:class:`DistanceOracle` is the interface that hides this choice from the
+routing, pooling and dispatching layers.  Backends register themselves
+in :mod:`repro.network.oracle.registry` and are selected through
+``SimulationConfig.oracle_backend`` (or the ``--oracle`` CLI flag)
+without touching any dispatcher code.
+
+All oracles answer in *seconds of travel time* on the directed graph
+they were built over, raise :class:`~repro.exceptions.UnreachableError`
+for disconnected pairs, and keep uniform query/cache counters so the
+metrics layer can report how the hot path behaved.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping, NamedTuple
+
+import networkx as nx
+
+from ...exceptions import UnreachableError
+
+
+class CacheInfo(NamedTuple):
+    """``functools.lru_cache``-style cache summary for an oracle."""
+
+    hits: int
+    misses: int
+    maxsize: int | None
+    currsize: int
+
+
+@dataclass(frozen=True)
+class OracleStats:
+    """Uniform query counters every backend maintains.
+
+    Attributes
+    ----------
+    backend:
+        Registry name of the backend that produced the numbers.
+    queries:
+        Point-to-point ``travel_time`` answers served (including the
+        pairs answered through ``travel_times_many``).
+    batched_queries:
+        Pairs answered through the batched ``travel_times_many`` API.
+    cache_hits / cache_misses:
+        Whether an answer came from precomputed/cached state or had to
+        run graph search work.
+    sssp_runs:
+        Full single-source Dijkstra executions (setup and refresh work
+        included).
+    pp_searches:
+        Goal-directed point-to-point searches (A*/bidirectional runs).
+    evictions:
+        Cache entries dropped by an LRU bound.
+    precompute_seconds:
+        Wall-clock time spent building auxiliary structures.
+    """
+
+    backend: str = "?"
+    queries: int = 0
+    batched_queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    sssp_runs: int = 0
+    pp_searches: int = 0
+    evictions: int = 0
+    precompute_seconds: float = 0.0
+    extras: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries answered without new graph-search work."""
+        total = self.cache_hits + self.cache_misses
+        return (self.cache_hits / total) if total else 0.0
+
+    def __sub__(self, earlier: "OracleStats") -> "OracleStats":
+        """Counter delta between two snapshots (for per-run accounting)."""
+        return replace(
+            self,
+            queries=self.queries - earlier.queries,
+            batched_queries=self.batched_queries - earlier.batched_queries,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            cache_misses=self.cache_misses - earlier.cache_misses,
+            sssp_runs=self.sssp_runs - earlier.sssp_runs,
+            pp_searches=self.pp_searches - earlier.pp_searches,
+            evictions=self.evictions - earlier.evictions,
+        )
+
+    def as_dict(self) -> dict[str, float | str]:
+        """Flat dictionary view used by the metrics/reporting layer."""
+        return {
+            "backend": self.backend,
+            "queries": self.queries,
+            "batched_queries": self.batched_queries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "sssp_runs": self.sssp_runs,
+            "pp_searches": self.pp_searches,
+            "evictions": self.evictions,
+            "precompute_seconds": self.precompute_seconds,
+            **dict(self.extras),
+        }
+
+
+class DistanceOracle(abc.ABC):
+    """Answers shortest travel-time queries over a directed road graph.
+
+    Parameters
+    ----------
+    graph:
+        The ``networkx.DiGraph`` whose edges carry ``travel_time``.
+        Oracles treat the graph as frozen; mutate it and the oracle's
+        answers become stale (call :meth:`clear` after edits).
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "oracle"
+
+    def __init__(self, graph: nx.DiGraph) -> None:
+        self._graph = graph
+        self._queries = 0
+        self._batched_queries = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._sssp_runs = 0
+        self._pp_searches = 0
+        self._evictions = 0
+        self._precompute_seconds = 0.0
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The graph the oracle answers for."""
+        return self._graph
+
+    # ------------------------------------------------------------------
+    # query interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def travel_time(self, source: int, target: int) -> float:
+        """Shortest travel time (seconds) from ``source`` to ``target``.
+
+        Raises :class:`UnreachableError` when no path exists.  Both
+        endpoints are assumed to be valid nodes (the owning
+        :class:`~repro.network.graph.RoadNetwork` validates ids).
+        """
+
+    @abc.abstractmethod
+    def travel_times_from(self, source: int) -> Mapping[int, float]:
+        """All shortest travel times from ``source`` (reachable targets only)."""
+
+    def travel_times_many(
+        self, sources: Iterable[int], targets: Iterable[int]
+    ) -> dict[tuple[int, int], float]:
+        """Batched travel times over the ``sources x targets`` product.
+
+        Returns a mapping ``(source, target) -> seconds``; unreachable
+        pairs are simply absent, so callers can treat a missing key as
+        "cannot get there".  Backends override this with bulk-friendly
+        implementations (one matrix refresh, one SSSP per source, ...);
+        the default loops over :meth:`travel_time`.
+        """
+        source_list = list(dict.fromkeys(sources))
+        target_list = list(dict.fromkeys(targets))
+        result: dict[tuple[int, int], float] = {}
+        for source in source_list:
+            for target in target_list:
+                try:
+                    result[(source, target)] = self.travel_time(source, target)
+                except UnreachableError:
+                    continue
+                finally:
+                    self._batched_queries += 1
+        return result
+
+    def is_reachable(self, source: int, target: int) -> bool:
+        """Whether a path exists from ``source`` to ``target``."""
+        try:
+            self.travel_time(source, target)
+        except UnreachableError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # cache management and instrumentation
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Drop cached state (precomputed tables are rebuilt lazily)."""
+
+    @abc.abstractmethod
+    def cache_info(self) -> CacheInfo:
+        """Summary of the backend's main cache."""
+
+    def stats(self) -> OracleStats:
+        """Snapshot of the uniform counters plus backend extras."""
+        return OracleStats(
+            backend=self.name,
+            queries=self._queries,
+            batched_queries=self._batched_queries,
+            cache_hits=self._cache_hits,
+            cache_misses=self._cache_misses,
+            sssp_runs=self._sssp_runs,
+            pp_searches=self._pp_searches,
+            evictions=self._evictions,
+            precompute_seconds=self._precompute_seconds,
+            extras=self._extra_stats(),
+        )
+
+    def _extra_stats(self) -> dict[str, float]:
+        return {}
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _dijkstra_from(self, source: int) -> dict[int, float]:
+        """One single-source Dijkstra in travel-time space (counted)."""
+        self._sssp_runs += 1
+        return nx.single_source_dijkstra_path_length(
+            self._graph, source, weight="travel_time"
+        )

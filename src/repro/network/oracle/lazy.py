@@ -1,0 +1,109 @@
+"""Cached-Dijkstra backend: the seed behaviour with a bounded cache.
+
+This is what ``RoadNetwork`` always did — run a full single-source
+Dijkstra the first time a source is queried and answer every later query
+from that source with a dictionary lookup — except the per-source cache
+is now an LRU bounded by ``max_sources``, so city-scale workloads that
+touch many distinct sources no longer grow the cache without limit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Mapping
+
+import networkx as nx
+
+from ...exceptions import UnreachableError
+from .base import CacheInfo, DistanceOracle
+
+#: Default bound on the number of cached single-source distance maps.
+DEFAULT_MAX_SOURCES = 1024
+
+
+class LazyDijkstraOracle(DistanceOracle):
+    """On-demand single-source Dijkstra with an LRU-bounded result cache.
+
+    Parameters
+    ----------
+    graph:
+        Directed graph with ``travel_time`` edge weights.
+    max_sources:
+        Maximum number of source distance maps kept alive; ``None``
+        means unbounded (the seed behaviour).
+    """
+
+    name = "lazy"
+
+    def __init__(
+        self, graph: nx.DiGraph, max_sources: int | None = DEFAULT_MAX_SOURCES
+    ) -> None:
+        super().__init__(graph)
+        if max_sources is not None and max_sources < 1:
+            raise ValueError("max_sources must be at least 1 (or None)")
+        self._max_sources = max_sources
+        self._cache: OrderedDict[int, dict[int, float]] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def travel_time(self, source: int, target: int) -> float:
+        self._queries += 1
+        if source == target:
+            return 0.0
+        distances = self._distances_from(source)
+        if target not in distances:
+            raise UnreachableError(source, target)
+        return distances[target]
+
+    def travel_times_from(self, source: int) -> Mapping[int, float]:
+        self._queries += 1
+        return self._distances_from(source)
+
+    def travel_times_many(
+        self, sources: Iterable[int], targets: Iterable[int]
+    ) -> dict[tuple[int, int], float]:
+        source_list = list(dict.fromkeys(sources))
+        target_list = list(dict.fromkeys(targets))
+        result: dict[tuple[int, int], float] = {}
+        for source in source_list:
+            distances = self._distances_from(source)
+            for target in target_list:
+                self._queries += 1
+                self._batched_queries += 1
+                if source == target:
+                    result[(source, target)] = 0.0
+                elif target in distances:
+                    result[(source, target)] = distances[target]
+        return result
+
+    # ------------------------------------------------------------------
+    # cache management
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def cache_info(self) -> CacheInfo:
+        return CacheInfo(
+            hits=self._cache_hits,
+            misses=self._cache_misses,
+            maxsize=self._max_sources,
+            currsize=len(self._cache),
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _distances_from(self, source: int) -> dict[int, float]:
+        cached = self._cache.get(source)
+        if cached is not None:
+            self._cache_hits += 1
+            self._cache.move_to_end(source)
+            return cached
+        self._cache_misses += 1
+        distances = self._dijkstra_from(source)
+        self._cache[source] = distances
+        if self._max_sources is not None and len(self._cache) > self._max_sources:
+            self._cache.popitem(last=False)
+            self._evictions += 1
+        return distances

@@ -1,0 +1,156 @@
+"""Backend registry: names -> oracle factories, plus config-driven setup.
+
+The registry is what makes backends swappable without touching any
+dispatcher code: ``SimulationConfig.oracle_backend`` (or the CLI's
+``--oracle`` flag) names a backend, and :func:`configure_oracle` builds
+and attaches it to the workload's :class:`RoadNetwork` before the run
+starts.  Libraries embedding the reproduction can plug in their own
+backend (e.g. a contraction-hierarchy wrapper) via
+:func:`register_oracle`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, TYPE_CHECKING
+
+import networkx as nx
+
+from ...exceptions import ConfigurationError
+from .base import DistanceOracle
+from .landmark import DEFAULT_NUM_LANDMARKS, LandmarkOracle
+from .lazy import DEFAULT_MAX_SOURCES, LazyDijkstraOracle
+from .matrix import MatrixOracle
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...config import SimulationConfig
+    from ..graph import RoadNetwork
+
+#: Factory signature: (graph, **options) -> DistanceOracle.  Factories
+#: must tolerate the uniform option names produced by
+#: :func:`configure_oracle` (``nodes``, ``cache_size``, ``num_landmarks``,
+#: ``seed``) and ignore the ones they do not use.
+OracleFactory = Callable[..., DistanceOracle]
+
+
+def _make_lazy(graph: nx.DiGraph, **options) -> LazyDijkstraOracle:
+    return LazyDijkstraOracle(
+        graph, max_sources=options.get("cache_size", DEFAULT_MAX_SOURCES)
+    )
+
+
+def _make_landmark(graph: nx.DiGraph, **options) -> LandmarkOracle:
+    return LandmarkOracle(
+        graph,
+        num_landmarks=options.get("num_landmarks", DEFAULT_NUM_LANDMARKS),
+        seed=options.get("seed", 0),
+    )
+
+
+def _make_matrix(graph: nx.DiGraph, **options) -> MatrixOracle:
+    return MatrixOracle(graph, nodes=options.get("nodes"))
+
+
+ORACLE_BACKENDS: dict[str, OracleFactory] = {
+    "lazy": _make_lazy,
+    "landmark": _make_landmark,
+    "matrix": _make_matrix,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(ORACLE_BACKENDS))
+
+
+def register_oracle(name: str, factory: OracleFactory) -> None:
+    """Register (or replace) a distance-oracle backend under ``name``."""
+    if not name or not isinstance(name, str):
+        raise ConfigurationError("oracle backend name must be a non-empty string")
+    ORACLE_BACKENDS[name] = factory
+
+
+def create_oracle(
+    name: str,
+    graph: nx.DiGraph,
+    *,
+    nodes: Iterable[int] | None = None,
+    cache_size: int | None = None,
+    num_landmarks: int | None = None,
+    seed: int = 0,
+) -> DistanceOracle:
+    """Instantiate a registered backend over ``graph``.
+
+    Unspecified options fall back to the backend's own defaults; options
+    a backend has no use for are ignored (a matrix oracle does not care
+    about ``num_landmarks``).
+    """
+    try:
+        factory = ORACLE_BACKENDS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown oracle backend {name!r}; available: {available_backends()}"
+        ) from exc
+    options = {"nodes": nodes, "seed": seed}
+    if cache_size is not None:
+        options["cache_size"] = cache_size
+    if num_landmarks is not None:
+        options["num_landmarks"] = num_landmarks
+    return factory(graph, **options)
+
+
+def configure_oracle(
+    network: "RoadNetwork",
+    config: "SimulationConfig",
+    nodes: Iterable[int] | None = None,
+    reuse: bool = True,
+) -> DistanceOracle:
+    """Build the backend named by ``config`` and attach it to ``network``.
+
+    Parameters
+    ----------
+    network:
+        The road network whose queries should go through the backend.
+    config:
+        Supplies ``oracle_backend``, ``oracle_cache_size``,
+        ``oracle_landmarks`` and ``seed``.
+    nodes:
+        Active-node hint for precomputing backends (pickup/dropoff and
+        worker nodes of the workload about to run).
+    reuse:
+        When true (default) an already attached oracle of the requested
+        backend *and settings* is kept, so several runs over one
+        workload share warm caches — mirroring how the seed shared one
+        Dijkstra cache.  An attached oracle whose settings differ from
+        the config (e.g. a different ``oracle_cache_size``) is rebuilt.
+    """
+    current = network.oracle
+    if (
+        reuse
+        and current.name == config.oracle_backend
+        and _options_match(current, config)
+    ):
+        return current
+    oracle = create_oracle(
+        config.oracle_backend,
+        network.graph,
+        nodes=nodes,
+        cache_size=config.oracle_cache_size,
+        num_landmarks=config.oracle_landmarks,
+        seed=config.seed,
+    )
+    network.set_oracle(oracle)
+    return oracle
+
+
+def _options_match(oracle: DistanceOracle, config: "SimulationConfig") -> bool:
+    """Whether an attached oracle already honours the config's settings.
+
+    Only the knobs a backend actually consumes are compared; custom
+    registry backends (whose options the registry cannot know) match on
+    name alone.
+    """
+    if isinstance(oracle, LazyDijkstraOracle):
+        return oracle.cache_info().maxsize == config.oracle_cache_size
+    if isinstance(oracle, LandmarkOracle):
+        return oracle.requested_landmarks == config.oracle_landmarks
+    return True

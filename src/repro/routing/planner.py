@@ -150,6 +150,7 @@ class RoutePlanner:
         start_time: float,
         start_node: int | None,
     ) -> PlannedGroup | None:
+        self._prefetch(orders, start_node)
         best: PlannedGroup | None = None
         for stops in self._candidate_stop_orders(orders):
             route = Route(stops, self._network)
@@ -193,6 +194,7 @@ class RoutePlanner:
         start_time: float,
         start_node: int | None,
     ) -> PlannedGroup | None:
+        self._prefetch(orders, start_node)
         seed, *rest = sorted(orders, key=lambda order: order.release_time)
         stops = [
             RouteStop(seed.pickup, seed.order_id, StopKind.PICKUP),
@@ -218,3 +220,21 @@ class RoutePlanner:
         if start_node is None:
             return 0.0
         return self._network.travel_time(start_node, route.start_node)
+
+    def _prefetch(self, orders: Sequence["Order"], start_node: int | None) -> None:
+        """Warm the distance oracle for every leg the plan can touch.
+
+        One ``travel_times_many`` call covers the whole stop-node block,
+        so precomputing backends answer it as a batch (one refresh)
+        instead of being hit with scalar queries from inside the
+        permutation loop.  Dropoffs only become leg *sources* when
+        several orders interleave, so the singleton case stays as cheap
+        as before for the lazy backend.
+        """
+        pickups = {order.pickup for order in orders}
+        dropoffs = {order.dropoff for order in orders}
+        targets = pickups | dropoffs
+        sources = set(pickups) if len(orders) == 1 else set(targets)
+        if start_node is not None:
+            sources.add(start_node)
+        self._network.travel_times_many(sources, targets)

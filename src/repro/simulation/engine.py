@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from ..config import SimulationConfig
 from ..datasets.synthetic import Workload
+from ..network.oracle import configure_oracle
 from .dispatcher import Dispatcher, DispatchResult
 from .metrics import MetricsCollector, SimulationMetrics
 
@@ -58,6 +59,14 @@ class Simulator:
         self._workload = workload
         self._dispatcher = dispatcher
         self._config = config
+        # The config names the distance-oracle backend; attach it here so
+        # every entry point (run_simulation, direct Simulator use, the
+        # experiment runner) honours it.  A matching oracle that is
+        # already attached is reused, keeping caches warm across the
+        # algorithms compared over one workload.
+        configure_oracle(
+            workload.network, config, nodes=workload.active_nodes(), reuse=True
+        )
         self._collector = MetricsCollector(
             weights=config.weights, penalty_factor=config.penalty_factor
         )
@@ -70,6 +79,7 @@ class Simulator:
         algorithm_time = 0.0
         check_period = self._config.check_period
         next_check = check_period
+        oracle_before = self._oracle_snapshot()
         for order in self._workload.orders:
             release = order.release_time
             # Run any periodic checks that fall before this order's release.
@@ -95,6 +105,7 @@ class Simulator:
             dataset=self._workload.name,
             worker_travel_time=self._worker_travel_time(),
             running_time_total=algorithm_time,
+            oracle_stats=self._oracle_delta(oracle_before),
         )
         return SimulationResult(
             metrics=metrics, collector=self._collector, config=self._config
@@ -130,6 +141,17 @@ class Simulator:
         if fleet is None:
             return 0.0
         return fleet.total_travel_time
+
+    def _oracle_snapshot(self):
+        stats_fn = getattr(self._workload.network, "oracle_stats", None)
+        return stats_fn() if callable(stats_fn) else None
+
+    def _oracle_delta(self, before):
+        """Per-run oracle counters (caches persist across runs on one network)."""
+        after = self._oracle_snapshot()
+        if before is None or after is None:
+            return None
+        return (after - before).as_dict()
 
 
 def run_simulation(

@@ -111,18 +111,24 @@ class WorkerFleet:
         before that member's deadline.  Capacity must cover the group's
         total riders.
         """
-        candidates = self.idle_workers(now)
+        candidates = [
+            worker
+            for worker in self.idle_workers(now)
+            if worker.capacity >= group.total_riders()
+        ]
         if not candidates:
             return None
-        riders = group.total_riders()
+        start_node = group.route.start_node
+        # One batched oracle call for every candidate's approach leg;
+        # workers parked at unreachable locations are simply skipped.
+        approaches = self._network.travel_times_many(
+            (worker.location for worker in candidates), [start_node]
+        )
         best_worker: Worker | None = None
         best_approach = float("inf")
-        start_node = group.route.start_node
         for worker in candidates:
-            if worker.capacity < riders:
-                continue
-            approach = self._network.travel_time(worker.location, start_node)
-            if approach >= best_approach:
+            approach = approaches.get((worker.location, start_node))
+            if approach is None or approach >= best_approach:
                 continue
             if not self._group_feasible_with_approach(group, now, approach):
                 continue

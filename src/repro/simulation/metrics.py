@@ -16,7 +16,7 @@ Four metrics are reported for every algorithm:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import Mapping, TYPE_CHECKING
 
 from ..config import ExtraTimeWeights
 from ..model.order import OrderOutcome
@@ -45,6 +45,10 @@ class SimulationMetrics:
     running_time_total: float
     running_time_per_order: float
     average_group_size: float
+    #: Distance-oracle counters accumulated during this run (backend
+    #: name, query count, cache hit rate, Dijkstra runs, ...); ``None``
+    #: when the dispatcher ran over a network without instrumentation.
+    oracle_stats: Mapping[str, float | str] | None = None
 
     def summary_row(self) -> dict[str, float | str | int]:
         """Flat dictionary convenient for tabular reports."""
@@ -123,6 +127,7 @@ class MetricsCollector:
         dataset: str,
         worker_travel_time: float,
         running_time_total: float,
+        oracle_stats: Mapping[str, float | str] | None = None,
     ) -> SimulationMetrics:
         """Build the aggregate metrics record for the finished run."""
         served = [outcome for outcome in self.outcomes if outcome.served]
@@ -155,6 +160,7 @@ class MetricsCollector:
             running_time_total=running_time_total,
             running_time_per_order=(running_time_total / total) if total else 0.0,
             average_group_size=average_group,
+            oracle_stats=oracle_stats,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,389 @@
+"""Tests for the distance-oracle subsystem.
+
+Covers:
+
+* property-style agreement of every backend with plain Dijkstra on
+  random grid and Manhattan-like networks (reachable and unreachable
+  pairs),
+* the batched ``travel_times_many`` API,
+* LRU bounding and ``cache_info`` of the lazy backend,
+* matrix batched refresh,
+* the backend registry, and
+* backend selection through ``SimulationConfig`` and the CLI.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.cli import build_parser, main
+from repro.config import SimulationConfig
+from repro.exceptions import ConfigurationError, UnreachableError
+from repro.network.generators import grid_city, manhattan_like_city
+from repro.network.graph import build_network
+from repro.network.oracle import (
+    DistanceOracle,
+    LandmarkOracle,
+    LazyDijkstraOracle,
+    MatrixOracle,
+    available_backends,
+    configure_oracle,
+    create_oracle,
+    register_oracle,
+)
+from repro.network.oracle.registry import ORACLE_BACKENDS
+
+BACKEND_CLASSES = {
+    "lazy": LazyDijkstraOracle,
+    "landmark": LandmarkOracle,
+    "matrix": MatrixOracle,
+}
+
+
+def _make(backend: str, graph: nx.DiGraph) -> DistanceOracle:
+    return create_oracle(backend, graph, num_landmarks=6)
+
+
+def _reference_distances(graph: nx.DiGraph, source: int) -> dict[int, float]:
+    return nx.single_source_dijkstra_path_length(
+        graph, source, weight="travel_time"
+    )
+
+
+@pytest.fixture(scope="module")
+def networks():
+    return {
+        "grid": grid_city(8, 8, seed=11, jitter=0.35),
+        "manhattan": manhattan_like_city(10, 6, seed=4),
+    }
+
+
+@pytest.fixture(scope="module")
+def directed_network():
+    """Two components, one of them a one-way chain: 0 -> 1 -> 2, {3, 4}."""
+    return build_network(
+        nodes=[(0, 0, 0), (1, 1, 0), (2, 2, 0), (3, 5, 5), (4, 6, 5)],
+        edges=[(0, 1, 10.0), (1, 2, 5.0), (3, 4, 7.0)],
+        bidirectional=False,
+    )
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize("backend", sorted(BACKEND_CLASSES))
+    @pytest.mark.parametrize("city", ["grid", "manhattan"])
+    def test_matches_dijkstra_on_sampled_pairs(self, networks, backend, city):
+        graph = networks[city].graph
+        oracle = _make(backend, graph)
+        nodes = sorted(graph.nodes)
+        import random
+
+        rng = random.Random(42)
+        for _ in range(150):
+            source, target = rng.choice(nodes), rng.choice(nodes)
+            want = _reference_distances(graph, source).get(target)
+            if want is None:
+                with pytest.raises(UnreachableError):
+                    oracle.travel_time(source, target)
+            else:
+                got = oracle.travel_time(source, target)
+                assert got == pytest.approx(want, rel=1e-9, abs=1e-6)
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_CLASSES))
+    def test_exact_backends_are_bitwise_identical(self, networks, backend):
+        if backend == "landmark":
+            pytest.skip("landmark assembles distances from two half-paths")
+        graph = networks["grid"].graph
+        oracle = _make(backend, graph)
+        nodes = sorted(graph.nodes)
+        source = nodes[0]
+        reference = _reference_distances(graph, source)
+        for target in nodes[:: max(1, len(nodes) // 20)]:
+            if target == source:
+                continue
+            assert oracle.travel_time(source, target) == reference[target]
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_CLASSES))
+    def test_unreachable_pairs_raise(self, directed_network, backend):
+        oracle = _make(backend, directed_network.graph)
+        assert oracle.travel_time(0, 2) == 15.0
+        for source, target in [(2, 0), (0, 4), (4, 3), (3, 0)]:
+            with pytest.raises(UnreachableError):
+                oracle.travel_time(source, target)
+            assert not oracle.is_reachable(source, target)
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_CLASSES))
+    def test_self_distance_is_zero(self, networks, backend):
+        graph = networks["grid"].graph
+        oracle = _make(backend, graph)
+        node = sorted(graph.nodes)[5]
+        assert oracle.travel_time(node, node) == 0.0
+
+
+class TestTravelTimesMany:
+    @pytest.mark.parametrize("backend", sorted(BACKEND_CLASSES))
+    def test_cross_product_matches_scalar_queries(self, networks, backend):
+        graph = networks["manhattan"].graph
+        oracle = _make(backend, graph)
+        nodes = sorted(graph.nodes)
+        sources, targets = nodes[:5], nodes[-5:] + nodes[:2]
+        block = oracle.travel_times_many(sources, targets)
+        for source in sources:
+            reference = _reference_distances(graph, source)
+            for target in set(targets):
+                want = 0.0 if source == target else reference.get(target)
+                if want is None:
+                    assert (source, target) not in block
+                else:
+                    assert block[(source, target)] == pytest.approx(
+                        want, rel=1e-9, abs=1e-6
+                    )
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_CLASSES))
+    def test_unreachable_pairs_are_absent(self, directed_network, backend):
+        oracle = _make(backend, directed_network.graph)
+        block = oracle.travel_times_many([0, 2, 3], [2, 4])
+        assert block[(0, 2)] == 15.0
+        assert block[(3, 4)] == 7.0
+        assert (2, 4) not in block and (0, 4) not in block
+
+    def test_network_level_api_validates_nodes(self, networks):
+        network = networks["grid"]
+        with pytest.raises(Exception):
+            network.travel_times_many([0], [999_999])
+
+
+class TestLazyLru:
+    def test_cache_is_bounded_and_counts_evictions(self, networks):
+        graph = networks["grid"].graph
+        oracle = LazyDijkstraOracle(graph, max_sources=3)
+        nodes = sorted(graph.nodes)
+        target = nodes[-1]
+        for source in nodes[:6]:
+            oracle.travel_time(source, target)
+        info = oracle.cache_info()
+        assert info.currsize == 3
+        assert info.maxsize == 3
+        assert info.misses == 6
+        assert oracle.stats().evictions == 3
+
+    def test_repeat_queries_hit_the_cache(self, networks):
+        graph = networks["grid"].graph
+        oracle = LazyDijkstraOracle(graph, max_sources=8)
+        nodes = sorted(graph.nodes)
+        oracle.travel_time(nodes[0], nodes[1])
+        oracle.travel_time(nodes[0], nodes[2])
+        info = oracle.cache_info()
+        assert info.hits == 1 and info.misses == 1
+
+    def test_network_cache_info_and_clear(self, networks):
+        network = grid_city(4, 4, seed=0)
+        first = network.travel_times_from(0)
+        assert network.travel_times_from(0) is first
+        assert network.cache_info().currsize == 1
+        network.clear_cache()
+        assert network.cache_info().currsize == 0
+
+    def test_rejects_nonpositive_bound(self, networks):
+        with pytest.raises(ValueError):
+            LazyDijkstraOracle(networks["grid"].graph, max_sources=0)
+
+
+class TestMatrixRefresh:
+    def test_unseen_sources_trigger_batched_refresh(self, networks):
+        graph = networks["grid"].graph
+        nodes = sorted(graph.nodes)
+        oracle = MatrixOracle(graph, nodes=nodes[:4])
+        assert oracle.num_rows == 4
+        refreshes_before = oracle.stats().extras["matrix_refreshes"]
+        block = oracle.travel_times_many(nodes[4:9], nodes[:3])
+        assert oracle.num_rows == 9
+        # Five new sources, one refresh: that is the batching.
+        assert oracle.stats().extras["matrix_refreshes"] == refreshes_before + 1
+        assert len(block) == 15
+
+    def test_row_bound_evicts_oldest(self, networks):
+        graph = networks["grid"].graph
+        nodes = sorted(graph.nodes)
+        oracle = MatrixOracle(graph, nodes=nodes[:2], max_rows=2)
+        oracle.travel_time(nodes[5], nodes[0])
+        info = oracle.cache_info()
+        assert info.currsize == 2
+        assert oracle.stats().evictions == 1
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert set(available_backends()) >= {"lazy", "landmark", "matrix"}
+
+    def test_unknown_backend_rejected(self, networks):
+        with pytest.raises(ConfigurationError):
+            create_oracle("warp-drive", networks["grid"].graph)
+
+    def test_custom_backend_round_trip(self, networks):
+        class EchoOracle(LazyDijkstraOracle):
+            name = "echo"
+
+        register_oracle("echo", lambda graph, **options: EchoOracle(graph))
+        try:
+            oracle = create_oracle("echo", networks["grid"].graph)
+            assert oracle.name == "echo"
+            config = SimulationConfig(oracle_backend="echo")
+            assert config.oracle_backend == "echo"
+        finally:
+            ORACLE_BACKENDS.pop("echo", None)
+
+    def test_use_backend_attaches_to_network(self):
+        network = grid_city(5, 5, seed=2)
+        oracle = network.use_backend("matrix")
+        assert network.oracle is oracle
+        assert isinstance(network.oracle, MatrixOracle)
+        assert network.travel_time(0, 1) > 0
+
+
+class TestConfigSelection:
+    def test_config_validates_backend_name(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(oracle_backend="nope")
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(oracle_cache_size=0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(oracle_landmarks=0)
+
+    def test_configure_oracle_attaches_named_backend(self):
+        network = grid_city(5, 5, seed=2)
+        config = SimulationConfig(oracle_backend="matrix")
+        oracle = configure_oracle(network, config, nodes=[0, 1, 2])
+        assert network.oracle is oracle
+        assert isinstance(oracle, MatrixOracle)
+        # Same backend requested again: the warm oracle is reused.
+        assert configure_oracle(network, config) is oracle
+        # Different backend: swapped out.
+        lazy = configure_oracle(network, config.with_overrides(oracle_backend="lazy"))
+        assert network.oracle is lazy
+        assert isinstance(lazy, LazyDijkstraOracle)
+
+    def test_changed_options_rebuild_the_oracle(self):
+        network = grid_city(5, 5, seed=2)
+        config = SimulationConfig(oracle_backend="lazy", oracle_cache_size=1024)
+        first = configure_oracle(network, config)
+        bigger = configure_oracle(
+            network, config.with_overrides(oracle_cache_size=4096)
+        )
+        assert bigger is not first
+        assert bigger.cache_info().maxsize == 4096
+        landmark_config = config.with_overrides(
+            oracle_backend="landmark", oracle_landmarks=4
+        )
+        small = configure_oracle(network, landmark_config)
+        grown = configure_oracle(
+            network, landmark_config.with_overrides(oracle_landmarks=6)
+        )
+        assert grown is not small
+
+    def test_simulator_honours_config_backend(self):
+        """run_simulation (no runner involved) must attach the named backend."""
+        from repro.datasets.workloads import build_workload
+        from repro.experiments.config import default_config
+        from repro.experiments.runner import make_dispatcher
+        from repro.simulation.engine import run_simulation
+
+        config = default_config(
+            "CDC",
+            num_orders=15,
+            num_workers=4,
+            horizon=900.0,
+            oracle_backend="matrix",
+        )
+        workload = build_workload("CDC", config)
+        dispatcher = make_dispatcher("NonSharing", workload, config)
+        result = run_simulation(workload, dispatcher, config)
+        assert isinstance(workload.network.oracle, MatrixOracle)
+        assert result.metrics.oracle_stats["backend"] == "matrix"
+
+    def test_run_is_backend_independent(self):
+        """Lazy and matrix backends produce bit-identical simulations."""
+        from repro.datasets.workloads import build_workload
+        from repro.experiments.config import default_config
+        from repro.experiments.runner import run_on_workload
+
+        base = default_config("CDC", num_orders=25, num_workers=6, horizon=900.0)
+        outcomes = {}
+        for backend in ("lazy", "matrix"):
+            config = base.with_overrides(oracle_backend=backend)
+            workload = build_workload("CDC", config)
+            result = run_on_workload("WATTER-online", workload, config)
+            metrics = result.metrics
+            assert metrics.oracle_stats is not None
+            assert metrics.oracle_stats["backend"] == backend
+            assert metrics.oracle_stats["queries"] > 0
+            outcomes[backend] = (
+                metrics.served_orders,
+                metrics.total_extra_time,
+                metrics.unified_cost,
+                metrics.service_rate,
+            )
+        assert outcomes["lazy"] == outcomes["matrix"]
+
+
+class TestCliSelection:
+    def test_parser_accepts_oracle_flag(self):
+        args = build_parser().parse_args(["compare", "--oracle", "matrix"])
+        assert args.oracle == "matrix"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--oracle", "bogus"])
+
+    def test_bench_subcommand_parsed(self):
+        args = build_parser().parse_args(
+            ["bench", "--queries", "500", "--backends", "lazy", "matrix"]
+        )
+        assert args.command == "bench"
+        assert args.queries == 500
+        assert args.backends == ["lazy", "matrix"]
+
+    def test_compare_with_oracle_flag_runs(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--dataset",
+                "CDC",
+                "--orders",
+                "20",
+                "--workers",
+                "6",
+                "--horizon",
+                "900",
+                "--algorithms",
+                "NonSharing",
+                "--oracle",
+                "matrix",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "matrix" in captured
+        assert "Distance-oracle cache statistics" in captured
+
+    def test_bench_command_prints_backend_table(self, capsys):
+        exit_code = main(
+            [
+                "bench",
+                "--dataset",
+                "CDC",
+                "--orders",
+                "20",
+                "--workers",
+                "6",
+                "--horizon",
+                "900",
+                "--queries",
+                "200",
+                "--backends",
+                "lazy",
+                "matrix",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "lazy" in captured and "matrix" in captured
+        assert "us/query" in captured
