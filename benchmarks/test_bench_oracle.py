@@ -12,18 +12,29 @@ default benchmark scale, prints the table, and asserts the speedup.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.benchmarking import (
+    benchmark_dispatch_queries,
     benchmark_oracles,
+    benchmark_spatial_index,
+    format_dispatch_bench_table,
     format_oracle_bench_table,
+    write_dispatch_trajectory,
 )
+from repro.network.generators import grid_city
 
 from .conftest import bench_config
 
 #: Query count of the timed mix; large enough that per-query dispatch
 #: overhead dominates timer noise on every backend.
 _NUM_QUERIES = 4000
+
+#: Idle workers per dispatch round of the many-to-one benchmark (the
+#: acceptance bar requires at least 32).
+_DISPATCH_SOURCES = 32
 
 
 @pytest.mark.parametrize("dataset", ("CDC", "NYC"))
@@ -52,6 +63,57 @@ def test_oracle_backends_speedup(dataset):
     )
     # The precomputed backend never runs graph searches at query time.
     assert matrix.hit_rate == pytest.approx(1.0)
+
+
+def test_many_to_one_dispatch_speedup():
+    """Reverse-SSSP batching must beat per-source forward Dijkstra >=5x.
+
+    The query mix is the dispatch hot path: >=32 idle worker locations
+    against one pickup node, each round on nodes no earlier round
+    touched (one genuinely cold dispatch decision per round).  The lazy
+    backend answers the batch with a single reverse-graph Dijkstra
+    instead of one forward Dijkstra per worker location.  The timings
+    land in ``BENCH_dispatch.json`` next to the repository root so CI
+    keeps a trajectory of the speedup.
+    """
+    graph = grid_city(rows=32, cols=32, seed=3, jitter=0.3).graph
+    results = benchmark_dispatch_queries(
+        graph=graph, num_sources=_DISPATCH_SOURCES, num_rounds=24
+    )
+    spatial = benchmark_spatial_index(grid_dim=32, num_workers=256, num_searches=50)
+    print()
+    print(format_dispatch_bench_table(results, spatial))
+    trajectory = Path(__file__).parent.parent / "BENCH_dispatch.json"
+    write_dispatch_trajectory(trajectory, results, spatial)
+    by_backend = {result.backend: result for result in results}
+    lazy = by_backend["lazy"]
+    assert lazy.num_sources >= 32
+    assert lazy.batched_seconds * 5.0 <= lazy.forward_seconds, (
+        f"lazy many-to-one batch answered in {lazy.batched_seconds:.4f}s, "
+        f"needed <= 1/5 of the per-source path's {lazy.forward_seconds:.4f}s"
+    )
+    # One reverse run per round replaces num_sources forward runs.
+    assert lazy.reverse_sssp_runs == lazy.num_rounds
+
+
+def test_spatial_index_speeds_up_find_worker_for():
+    """The ring-expanding search must beat the full-fleet scan.
+
+    On a >=1k-node network with a large fleet the pruned search may
+    examine only a fraction of the workers (deterministic) and must be
+    measurably faster end-to-end (wall clock, generous 1.2x bar to stay
+    robust on noisy CI runners).
+    """
+    spatial = benchmark_spatial_index(
+        grid_dim=32, num_workers=256, num_searches=60, repeats=5
+    )
+    assert spatial.num_nodes >= 1000
+    # Deterministic pruning: well under half the fleet examined.
+    assert spatial.candidates_fraction < 0.5
+    assert spatial.indexed_seconds * 1.2 <= spatial.scan_seconds, (
+        f"ring search took {spatial.indexed_seconds:.4f}s, "
+        f"scan {spatial.scan_seconds:.4f}s"
+    )
 
 
 def test_oracle_query_benchmark(benchmark):

@@ -147,6 +147,15 @@ class GDPDispatcher(Dispatcher):
     # insertion search
     # ------------------------------------------------------------------
     def _best_insertion(self, order: Order, now: float) -> _Insertion | None:
+        # One many-to-one batch per insertion target primes every
+        # vehicle-position -> pickup and X -> dropoff leg the per-plan
+        # searches below will price: on the lazy backend that is two
+        # reverse-graph Dijkstras for the whole fleet instead of one
+        # forward Dijkstra per vehicle position.
+        positions = {plan.current_node for plan in self._plans}
+        self._network.travel_times_many(
+            positions | {order.pickup}, [order.pickup, order.dropoff]
+        )
         best: _Insertion | None = None
         for plan in self._plans:
             candidate = self._cheapest_insertion_for_plan(plan, order, now)
@@ -162,17 +171,13 @@ class GDPDispatcher(Dispatcher):
         base_stops = plan.stops
         base_cost = plan.scheduled_travel_time(now, self._network)
         start_time = max(now, plan.available_at)
-        # Batch-prime the oracle with every leg the candidate schedules
-        # below can touch.  The new dropoff only becomes a leg source
-        # when it is inserted before an existing stop, so an empty
-        # schedule skips it and stays one-Dijkstra cheap on the lazy
-        # backend.
-        nodes = {plan.current_node, order.pickup}
-        nodes.update(stop.node for stop in base_stops)
-        targets = set(nodes) | {order.dropoff}
+        # Plans with live schedules still batch-prime the legs between
+        # their existing stops (the fleet-wide many-to-one prime above
+        # already covers the pickup/dropoff legs of empty schedules).
         if base_stops:
-            nodes.add(order.dropoff)
-        self._network.travel_times_many(nodes, targets)
+            nodes = {plan.current_node, order.pickup, order.dropoff}
+            nodes.update(stop.node for stop in base_stops)
+            self._network.travel_times_many(nodes, nodes)
         best: _Insertion | None = None
         positions = len(base_stops)
         for pickup_pos in range(positions + 1):

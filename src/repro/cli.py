@@ -28,7 +28,14 @@ from __future__ import annotations
 import argparse
 from typing import Sequence
 
-from .experiments.benchmarking import benchmark_oracles, format_oracle_bench_table
+from .experiments.benchmarking import (
+    benchmark_dispatch_queries,
+    benchmark_oracles,
+    benchmark_spatial_index,
+    format_dispatch_bench_table,
+    format_oracle_bench_table,
+    write_dispatch_trajectory,
+)
 from .experiments.config import default_config
 from .experiments.reporting import (
     format_comparison_table,
@@ -113,6 +120,27 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(available_backends()),
         help="backends to time (default: all registered)",
     )
+    bench.add_argument(
+        "--dispatch",
+        action="store_true",
+        help=(
+            "time the many-to-one dispatch mix (many idle workers, one "
+            "pickup) and the spatial-index find_worker_for microbenchmark "
+            "instead of the point-to-point query mix"
+        ),
+    )
+    bench.add_argument(
+        "--dispatch-sources",
+        type=_positive_int,
+        default=32,
+        help="idle worker locations per dispatch round (with --dispatch)",
+    )
+    bench.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the dispatch benchmark trajectory (BENCH_dispatch.json)",
+    )
     return parser
 
 
@@ -183,6 +211,8 @@ def _run_example1() -> str:
 
 def _run_bench(args: argparse.Namespace) -> str:
     config = _config_from_args(args)
+    if args.dispatch:
+        return _run_dispatch_bench(args, config)
     results = benchmark_oracles(
         args.dataset,
         config,
@@ -196,9 +226,31 @@ def _run_bench(args: argparse.Namespace) -> str:
     return format_oracle_bench_table(results, title=title)
 
 
+def _run_dispatch_bench(args: argparse.Namespace, config) -> str:
+    results = benchmark_dispatch_queries(
+        args.dataset,
+        config,
+        backends=args.backends,
+        num_sources=args.dispatch_sources,
+    )
+    spatial = benchmark_spatial_index()
+    title = (
+        f"Many-to-one dispatch benchmark ({args.dataset}, "
+        f"{args.dispatch_sources} workers per round)"
+    )
+    output = format_dispatch_bench_table(results, spatial, title=title)
+    if args.json:
+        path = write_dispatch_trajectory(args.json, results, spatial)
+        output += f"\n\ntrajectory written to {path}"
+    return output
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "bench" and args.json and not args.dispatch:
+        parser.error("--json records the dispatch trajectory; add --dispatch")
     if args.command == "compare":
         output = _run_compare(args)
     elif args.command == "sweep":

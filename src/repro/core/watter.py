@@ -140,7 +140,12 @@ class WatterDispatcher(Dispatcher):
         return DispatchResult.empty()
 
     def tick(self, now: float) -> DispatchResult:
-        """Run the periodic pool check and book dispatched groups."""
+        """Run the periodic pool check and book dispatched groups.
+
+        ``can_serve`` runs (and memoises) the full nearest-worker
+        search, so the booking in :meth:`_assign_group` reuses the found
+        worker instead of searching the fleet a second time.
+        """
         self._fleet.release_finished(now)
         decisions = self._pool.check(now, can_assign=self._fleet.can_serve)
         served = []
@@ -176,6 +181,8 @@ class WatterDispatcher(Dispatcher):
     # internals
     # ------------------------------------------------------------------
     def _assign_group(self, group: "Group", now: float):
+        # Answered from the fleet's (group, now) memo when the idle pool
+        # has not changed since the can_serve probe in the pool check.
         worker = self._fleet.find_worker_for(group, now)
         if worker is None:
             return None

@@ -4,23 +4,40 @@
 simulation issues — approach legs from worker locations, pickup-to-
 pickup shareability probes, route legs between stop nodes — against a
 fresh instance of every backend, and reports setup time, query time and
-cache behaviour.  The ``repro bench`` CLI subcommand and the
-``benchmarks/test_bench_oracle.py`` regression benchmark both call it.
+cache behaviour.
+
+``benchmark_dispatch_queries`` isolates the dispatch hot path's
+many-sources-to-one-target shape (every idle worker against one pickup)
+and times the batched many-to-one answer against the per-source forward
+path it replaced, and ``benchmark_spatial_index`` times the fleet's
+ring-expanding ``find_worker_for`` against the full scan.  The ``repro
+bench`` CLI subcommand and the ``benchmarks/test_bench_oracle.py``
+regression benchmarks call all three.
 """
 
 from __future__ import annotations
 
+import json
 import random
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from pathlib import Path
 from typing import Sequence
 
-from ..config import SimulationConfig
+from ..config import ExtraTimeWeights, SimulationConfig
 from ..datasets.synthetic import Workload
 from ..datasets.workloads import build_workload
 from ..exceptions import ConfigurationError, UnreachableError
+from ..model.group import Group
+from ..model.order import Order
+from ..model.worker import Worker
+from ..network.generators import grid_city
+from ..network.grid import GridIndex
 from ..network.oracle import available_backends, create_oracle
+from ..routing.planner import RoutePlanner
+from ..simulation.fleet import WorkerFleet
 from .config import default_config
+from .reporting import render_aligned_table
 
 
 @dataclass(frozen=True)
@@ -141,6 +158,300 @@ def benchmark_oracles(
     return results
 
 
+@dataclass(frozen=True)
+class DispatchBenchResult:
+    """Timing of one backend over the many-to-one dispatch query mix."""
+
+    backend: str
+    num_sources: int
+    num_rounds: int
+    forward_seconds: float
+    batched_seconds: float
+    reverse_sssp_runs: int
+
+    @property
+    def speedup(self) -> float:
+        """How much faster the batched many-to-one path answered."""
+        if self.batched_seconds <= 0.0:
+            return float("inf")
+        return self.forward_seconds / self.batched_seconds
+
+
+@dataclass(frozen=True)
+class SpatialBenchResult:
+    """Timing of the fleet's nearest-worker search with/without the index."""
+
+    num_nodes: int
+    num_workers: int
+    num_searches: int
+    scan_seconds: float
+    indexed_seconds: float
+    candidates_examined: int
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock improvement of the ring search over the full scan."""
+        if self.indexed_seconds <= 0.0:
+            return float("inf")
+        return self.scan_seconds / self.indexed_seconds
+
+    @property
+    def candidates_fraction(self) -> float:
+        """Fraction of the fleet the pruned search actually examined."""
+        total = self.num_searches * self.num_workers
+        return (self.candidates_examined / total) if total else 0.0
+
+
+def _dispatch_rounds(
+    graph, num_sources: int, num_rounds: int, seed: int
+) -> list[tuple[list[int], int]]:
+    """Disjoint (worker locations, pickup) rounds over fresh nodes.
+
+    Every round uses nodes no earlier round touched, so neither path
+    can answer from a previous round's cache — each measured round is
+    one genuinely cold dispatch decision.
+    """
+    nodes = sorted(graph.nodes)
+    rng = random.Random(seed)
+    rng.shuffle(nodes)
+    per_round = num_sources + 1
+    rounds: list[tuple[list[int], int]] = []
+    for start in range(0, len(nodes) - per_round + 1, per_round):
+        chunk = nodes[start : start + per_round]
+        rounds.append((chunk[:num_sources], chunk[num_sources]))
+        if len(rounds) == num_rounds:
+            break
+    if not rounds:
+        raise ConfigurationError(
+            f"graph too small for {num_sources} sources per dispatch round"
+        )
+    return rounds
+
+
+def benchmark_dispatch_queries(
+    dataset: str = "CDC",
+    config: SimulationConfig | None = None,
+    backends: Sequence[str] | None = None,
+    num_sources: int = 32,
+    num_rounds: int = 24,
+    graph=None,
+) -> list[DispatchBenchResult]:
+    """Time the many-to-one dispatch mix against the per-source path.
+
+    Each round replays one dispatch decision — ``num_sources`` idle
+    worker locations against a single pickup node — twice on fresh
+    oracles of the same backend: once through point-to-point
+    ``travel_time`` per source (the per-source forward-Dijkstra path the
+    batching replaced) and once through the batched
+    ``travel_times_many`` many-to-one path.  Answers are cross-checked
+    pair-for-pair.
+    """
+    if graph is None:
+        config = config or default_config(dataset)
+        workload = build_workload(dataset, config)
+        graph = workload.network.graph
+    num_sources = min(num_sources, max(graph.number_of_nodes() // 4, 2))
+    rounds = _dispatch_rounds(graph, num_sources, num_rounds, seed=17)
+    if backends is None:
+        names = sorted(available_backends(), key=lambda n: (n != "lazy", n))
+    else:
+        names = list(backends)
+    results: list[DispatchBenchResult] = []
+    for name in names:
+        kwargs = dict(nodes=[], num_landmarks=None, seed=0)
+        forward_oracle = create_oracle(name, graph, **kwargs)
+        started = time.perf_counter()
+        forward_answers: list[dict[int, float]] = []
+        for sources, target in rounds:
+            answers: dict[int, float] = {}
+            for source in sources:
+                try:
+                    answers[source] = forward_oracle.travel_time(source, target)
+                except UnreachableError:
+                    continue
+            forward_answers.append(answers)
+        forward_seconds = time.perf_counter() - started
+        batched_oracle = create_oracle(name, graph, **kwargs)
+        started = time.perf_counter()
+        batched_answers: list[dict[tuple[int, int], float]] = []
+        for sources, target in rounds:
+            batched_answers.append(batched_oracle.travel_times_many(sources, [target]))
+        batched_seconds = time.perf_counter() - started
+        for (sources, target), forward, batched in zip(
+            rounds, forward_answers, batched_answers
+        ):
+            for source in sources:
+                want = forward.get(source)
+                got = batched.get((source, target))
+                if (got is None) != (want is None):
+                    raise AssertionError(
+                        f"backend {name} disagrees on reachability for "
+                        f"({source}, {target})"
+                    )
+                if want is not None and abs(got - want) > 1e-6 * max(want, 1.0):
+                    raise AssertionError(
+                        f"backend {name} disagrees: {got} != {want}"
+                    )
+        results.append(
+            DispatchBenchResult(
+                backend=name,
+                num_sources=num_sources,
+                num_rounds=len(rounds),
+                forward_seconds=forward_seconds,
+                batched_seconds=batched_seconds,
+                reverse_sssp_runs=batched_oracle.stats().reverse_sssp_runs,
+            )
+        )
+    return results
+
+
+def benchmark_spatial_index(
+    grid_dim: int = 32,
+    num_workers: int = 256,
+    num_searches: int = 60,
+    repeats: int = 3,
+    seed: int = 7,
+) -> SpatialBenchResult:
+    """Time ``find_worker_for`` with and without the worker spatial index.
+
+    Builds a ``grid_dim x grid_dim`` city (>=1k nodes at the default),
+    scatters ``num_workers`` idle workers, and replays the same
+    singleton-group searches against a ring-expanding fleet and a
+    full-scan fleet.  Both fleets see identical warmed oracle caches so
+    the measured difference is candidate pruning, and the chosen
+    workers are cross-checked per search.
+    """
+    network = grid_city(rows=grid_dim, cols=grid_dim, seed=seed, jitter=0.25)
+    nodes = network.nodes_sorted()
+    rng = random.Random(seed)
+    locations = [rng.choice(nodes) for _ in range(num_workers)]
+    planner = RoutePlanner(network)
+    groups: list[Group] = []
+    while len(groups) < num_searches:
+        pickup, dropoff = rng.sample(nodes, 2)
+        shortest = network.travel_time(pickup, dropoff)
+        order = Order(
+            pickup=pickup,
+            dropoff=dropoff,
+            release_time=0.0,
+            shortest_time=shortest,
+            deadline=3.0 * shortest,
+            wait_limit=shortest,
+        )
+        planned = planner.try_plan([order], 4, 0.0)
+        if planned is None:
+            continue
+        groups.append(
+            Group(
+                orders=(order,),
+                route=planned.route,
+                created_at=0.0,
+                weights=ExtraTimeWeights(),
+            )
+        )
+
+    def build_fleet(use_spatial_index: bool) -> WorkerFleet:
+        workers = [
+            Worker(location=location, capacity=4, worker_id=wid)
+            for wid, location in enumerate(locations)
+        ]
+        return WorkerFleet(
+            workers,
+            network,
+            GridIndex(network, size=max(grid_dim // 2, 1)),
+            use_spatial_index=use_spatial_index,
+        )
+
+    def timed(fleet: WorkerFleet) -> tuple[float, list[int | None]]:
+        for group in groups:  # warm the oracle caches outside the timer
+            fleet.find_worker_for(group, 0.0)
+        chosen: list[int | None] = []
+        started = time.perf_counter()
+        for _ in range(repeats):
+            chosen = [
+                worker.worker_id if worker is not None else None
+                for worker in (
+                    fleet.find_worker_for(group, 0.0) for group in groups
+                )
+            ]
+        return time.perf_counter() - started, chosen
+
+    scan_seconds, scan_chosen = timed(build_fleet(False))
+    indexed_fleet = build_fleet(True)
+    indexed_seconds, indexed_chosen = timed(indexed_fleet)
+    if indexed_chosen != scan_chosen:
+        raise AssertionError("spatial index changed the selected workers")
+    index = indexed_fleet.spatial_index
+    assert index is not None
+    return SpatialBenchResult(
+        num_nodes=len(network),
+        num_workers=num_workers,
+        num_searches=index.searches,
+        scan_seconds=scan_seconds,
+        indexed_seconds=indexed_seconds,
+        candidates_examined=index.candidates_yielded,
+    )
+
+
+def write_dispatch_trajectory(
+    path: str | Path,
+    dispatch_results: Sequence[DispatchBenchResult],
+    spatial_result: SpatialBenchResult | None = None,
+) -> Path:
+    """Write the dispatch benchmark trajectory file (``BENCH_dispatch.json``).
+
+    The file records, per backend, the timings of the forward and
+    batched many-to-one paths plus the spatial-index microbenchmark, so
+    CI runs leave a machine-readable trace of the hot path's speedups.
+    """
+    payload = {
+        "benchmark": "dispatch_many_to_one",
+        "backends": [
+            {**asdict(result), "speedup": result.speedup}
+            for result in dispatch_results
+        ],
+    }
+    if spatial_result is not None:
+        payload["spatial_index"] = {
+            **asdict(spatial_result),
+            "speedup": spatial_result.speedup,
+            "candidates_fraction": spatial_result.candidates_fraction,
+        }
+    destination = Path(path)
+    destination.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return destination
+
+
+def format_dispatch_bench_table(
+    results: Sequence[DispatchBenchResult],
+    spatial: SpatialBenchResult | None = None,
+    title: str = "Many-to-one dispatch benchmark",
+) -> str:
+    """Render the dispatch-mix timings as an aligned text table."""
+    columns = [
+        ("backend", lambda r: r.backend),
+        ("sources", lambda r: f"{r.num_sources}"),
+        ("rounds", lambda r: f"{r.num_rounds}"),
+        ("per-source (s)", lambda r: f"{r.forward_seconds:.3f}"),
+        ("batched (s)", lambda r: f"{r.batched_seconds:.3f}"),
+        ("rev sssp", lambda r: f"{r.reverse_sssp_runs}"),
+        ("speedup", lambda r: f"{r.speedup:.1f}x"),
+    ]
+    rows = [[header for header, _ in columns]]
+    for result in results:
+        rows.append([extract(result) for _, extract in columns])
+    output = render_aligned_table(title, rows)
+    if spatial is not None:
+        output += (
+            f"\n\nfind_worker_for on {spatial.num_nodes} nodes, "
+            f"{spatial.num_workers} workers: scan {spatial.scan_seconds:.3f}s, "
+            f"ring search {spatial.indexed_seconds:.3f}s "
+            f"({spatial.speedup:.1f}x, examined "
+            f"{100.0 * spatial.candidates_fraction:.0f}% of the fleet)"
+        )
+    return output
+
+
 def format_oracle_bench_table(
     results: Sequence[OracleBenchResult], title: str = "Distance-oracle benchmark"
 ) -> str:
@@ -170,8 +481,4 @@ def format_oracle_bench_table(
     rows = [[header for header, _ in columns]]
     for result in results:
         rows.append([extract(result) for _, extract in columns])
-    widths = [max(len(row[idx]) for row in rows) for idx in range(len(columns))]
-    lines = [title, "-" * len(title)]
-    for row in rows:
-        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
-    return "\n".join(lines)
+    return render_aligned_table(title, rows)

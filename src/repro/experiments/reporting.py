@@ -23,6 +23,22 @@ METRIC_LABELS = {
 }
 
 
+def render_aligned_table(title: str, rows: Sequence[Sequence[str]]) -> str:
+    """Render pre-formatted rows (header first) as an aligned text table.
+
+    The single text-table renderer shared by every formatter in the
+    experiments package (sweeps, comparisons, oracle stats, benchmark
+    tables).
+    """
+    widths = [
+        max(len(row[index]) for row in rows) for index in range(len(rows[0]))
+    ]
+    lines = [title, "-" * len(title)]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
 def _format_value(metric: str, value: float) -> str:
     if metric == "service_rate":
         return f"{value:.3f}"
@@ -53,15 +69,7 @@ def format_sweep_table(
         rows.append(
             [algorithm] + [_format_value(metric, value) for value in series]
         )
-    widths = [
-        max(len(row[index]) for row in rows) for index in range(len(column_headers))
-    ]
-    lines = [header, "-" * len(header)]
-    for row in rows:
-        lines.append(
-            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
-        )
-    return "\n".join(lines)
+    return render_aligned_table(header, rows)
 
 
 def format_full_sweep_report(sweep: SweepResult) -> str:
@@ -90,16 +98,13 @@ def format_oracle_stats_table(
         ("queries", lambda m: f"{int(_get(m, 'queries'))}"),
         ("hit rate", lambda m: f"{float(_get(m, 'hit_rate')):.3f}"),
         ("sssp runs", lambda m: f"{int(_get(m, 'sssp_runs'))}"),
+        ("rev sssp", lambda m: f"{int(_get(m, 'reverse_sssp_runs'))}"),
         ("p2p searches", lambda m: f"{int(_get(m, 'pp_searches'))}"),
     ]
     rows = [[header for header, _ in columns]]
     for metrics in rows_source:
         rows.append([extractor(metrics) for _, extractor in columns])
-    widths = [max(len(row[index]) for row in rows) for index in range(len(columns))]
-    lines = [title, "-" * len(title)]
-    for row in rows:
-        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
-    return "\n".join(lines)
+    return render_aligned_table(title, rows)
 
 
 def format_comparison_table(
@@ -117,8 +122,4 @@ def format_comparison_table(
     rows = [[header for header, _ in columns]]
     for metrics in metrics_list:
         rows.append([extractor(metrics) for _, extractor in columns])
-    widths = [max(len(row[index]) for row in rows) for index in range(len(columns))]
-    lines = [title, "-" * len(title)]
-    for row in rows:
-        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
-    return "\n".join(lines)
+    return render_aligned_table(title, rows)

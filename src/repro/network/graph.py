@@ -166,6 +166,18 @@ class RoadNetwork:
         self._require_node(source)
         return self._oracle.travel_times_from(source)
 
+    def travel_times_to(self, target: int) -> Mapping[int, float]:
+        """All shortest travel times *to* ``target`` (cached).
+
+        The many-to-one mirror of :meth:`travel_times_from`, answered by
+        a single search on the reversed graph: the returned mapping is
+        ``source -> d(source, target)`` for every source that can reach
+        the target.  This is the primitive behind the dispatch hot
+        path's "how far is each idle worker from this pickup?" batches.
+        """
+        self._require_node(target)
+        return self._oracle.travel_times_to(target)
+
     def travel_times_many(
         self, sources: Iterable[int], targets: Iterable[int]
     ) -> dict[tuple[int, int], float]:

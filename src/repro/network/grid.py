@@ -86,21 +86,42 @@ class GridIndex:
             raise ConfigurationError(f"cell {cell} outside grid of size {self._size}")
         return divmod(cell, self._size)
 
+    def ring(self, cell: int, radius: int) -> Iterator[int]:
+        """Yield the cells at exactly Chebyshev distance ``radius``.
+
+        This is the single source of the grid's ring geometry; the
+        worker spatial index and :meth:`neighbourhood` both build on it.
+        """
+        row, col = self.cell_coordinates(cell)
+        size = self._size
+        if radius == 0:
+            yield cell
+            return
+        for dr in range(-radius, radius + 1):
+            r = row + dr
+            if not 0 <= r < size:
+                continue
+            if abs(dr) == radius:
+                # Top and bottom edges of the ring: full rows.
+                for dc in range(-radius, radius + 1):
+                    c = col + dc
+                    if 0 <= c < size:
+                        yield r * size + c
+            else:
+                # Left and right edges only.
+                for dc in (-radius, radius):
+                    c = col + dc
+                    if 0 <= c < size:
+                        yield r * size + c
+
     def neighbourhood(self, cell: int, rings: int = 1) -> Iterator[int]:
         """Yield the cells within ``rings`` Chebyshev distance of ``cell``.
 
         The cell itself is yielded first, then the surrounding rings, so
         a caller scanning for the nearest worker can stop early.
         """
-        row, col = self.cell_coordinates(cell)
         for radius in range(rings + 1):
-            for dr in range(-radius, radius + 1):
-                for dc in range(-radius, radius + 1):
-                    if max(abs(dr), abs(dc)) != radius:
-                        continue
-                    r, c = row + dr, col + dc
-                    if 0 <= r < self._size and 0 <= c < self._size:
-                        yield r * self._size + c
+            yield from self.ring(cell, radius)
 
     def cells_of(self, nodes: Iterable[int]) -> list[int]:
         """Vector form of :meth:`cell_of`."""

@@ -15,6 +15,13 @@ name        setup                    point-to-point query
 
 Select a backend through ``SimulationConfig(oracle_backend=...)``, the
 ``--oracle`` CLI flag, or directly via ``RoadNetwork.use_backend(name)``.
+
+All backends also answer the dispatch hot path's many-sources-to-
+one-target shape natively: ``travel_times_to(target)`` runs a single
+search on the *reversed* graph (lazy keeps an LRU of per-target reverse
+distance maps, landmark runs an early-terminating backward search over
+its reverse adjacency, matrix reads the target's column), and
+``travel_times_many`` routes many-to-one blocks through it.
 """
 
 from .base import CacheInfo, DistanceOracle, OracleStats

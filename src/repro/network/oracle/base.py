@@ -61,6 +61,10 @@ class OracleStats:
     sssp_runs:
         Full single-source Dijkstra executions (setup and refresh work
         included).
+    reverse_sssp_runs:
+        Dijkstra executions on the *reversed* graph — the many-to-one
+        batching primitive (one reverse run from a target answers every
+        source at once).
     pp_searches:
         Goal-directed point-to-point searches (A*/bidirectional runs).
     evictions:
@@ -75,6 +79,7 @@ class OracleStats:
     cache_hits: int = 0
     cache_misses: int = 0
     sssp_runs: int = 0
+    reverse_sssp_runs: int = 0
     pp_searches: int = 0
     evictions: int = 0
     precompute_seconds: float = 0.0
@@ -95,6 +100,7 @@ class OracleStats:
             cache_hits=self.cache_hits - earlier.cache_hits,
             cache_misses=self.cache_misses - earlier.cache_misses,
             sssp_runs=self.sssp_runs - earlier.sssp_runs,
+            reverse_sssp_runs=self.reverse_sssp_runs - earlier.reverse_sssp_runs,
             pp_searches=self.pp_searches - earlier.pp_searches,
             evictions=self.evictions - earlier.evictions,
         )
@@ -109,6 +115,7 @@ class OracleStats:
             "cache_misses": self.cache_misses,
             "hit_rate": self.hit_rate,
             "sssp_runs": self.sssp_runs,
+            "reverse_sssp_runs": self.reverse_sssp_runs,
             "pp_searches": self.pp_searches,
             "evictions": self.evictions,
             "precompute_seconds": self.precompute_seconds,
@@ -132,11 +139,13 @@ class DistanceOracle(abc.ABC):
 
     def __init__(self, graph: nx.DiGraph) -> None:
         self._graph = graph
+        self._reversed_graph: nx.DiGraph | None = None
         self._queries = 0
         self._batched_queries = 0
         self._cache_hits = 0
         self._cache_misses = 0
         self._sssp_runs = 0
+        self._reverse_sssp_runs = 0
         self._pp_searches = 0
         self._evictions = 0
         self._precompute_seconds = 0.0
@@ -162,6 +171,20 @@ class DistanceOracle(abc.ABC):
     def travel_times_from(self, source: int) -> Mapping[int, float]:
         """All shortest travel times from ``source`` (reachable targets only)."""
 
+    def travel_times_to(self, target: int) -> Mapping[int, float]:
+        """All shortest travel times *to* ``target`` (reaching sources only).
+
+        The many-to-one mirror of :meth:`travel_times_from`: the returned
+        mapping is ``source -> d(source, target)`` for every source that
+        can reach the target, computed with a single Dijkstra on the
+        *reversed* graph.  On directed graphs this is **not** the same as
+        ``travel_times_from(target)`` — reverse and forward distances
+        differ whenever edges are asymmetric.  Backends override this
+        with cached / table-backed implementations.
+        """
+        self._queries += 1
+        return self._dijkstra_to(target)
+
     def travel_times_many(
         self, sources: Iterable[int], targets: Iterable[int]
     ) -> dict[tuple[int, int], float]:
@@ -170,20 +193,44 @@ class DistanceOracle(abc.ABC):
         Returns a mapping ``(source, target) -> seconds``; unreachable
         pairs are simply absent, so callers can treat a missing key as
         "cannot get there".  Backends override this with bulk-friendly
-        implementations (one matrix refresh, one SSSP per source, ...);
-        the default loops over :meth:`travel_time`.
+        implementations (one matrix refresh, one SSSP per source, one
+        *reverse* SSSP per target for the many-sources-to-one-target
+        dispatch pattern, ...).
+
+        Stats contract for overrides: ``batched_queries`` counts every
+        attempted pair of the product, ``queries`` counts the pairs
+        actually answered (present in the result).
         """
         source_list = list(dict.fromkeys(sources))
         target_list = list(dict.fromkeys(targets))
         result: dict[tuple[int, int], float] = {}
+        if len(target_list) == 1 and len(source_list) > 1:
+            # Many-to-one: answer the whole batch from one reverse SSSP.
+            # The map fetch is internal to the batch, so whatever query
+            # accounting the (possibly overridden) travel_times_to does
+            # is rolled back and replaced by the answered-pairs count.
+            target = target_list[0]
+            self._batched_queries += len(source_list)
+            queries_before = self._queries
+            arrivals = self.travel_times_to(target)
+            self._queries = queries_before
+            for source in source_list:
+                value = 0.0 if source == target else arrivals.get(source)
+                if value is not None:
+                    result[(source, target)] = value
+            self._queries += len(result)
+            return result
+        # Per-pair fallback; travel_time's own accounting is replaced by
+        # the answered-pairs count so the contract above holds here too.
+        queries_before = self._queries
         for source in source_list:
             for target in target_list:
+                self._batched_queries += 1
                 try:
                     result[(source, target)] = self.travel_time(source, target)
                 except UnreachableError:
                     continue
-                finally:
-                    self._batched_queries += 1
+        self._queries = queries_before + len(result)
         return result
 
     def is_reachable(self, source: int, target: int) -> bool:
@@ -214,6 +261,7 @@ class DistanceOracle(abc.ABC):
             cache_hits=self._cache_hits,
             cache_misses=self._cache_misses,
             sssp_runs=self._sssp_runs,
+            reverse_sssp_runs=self._reverse_sssp_runs,
             pp_searches=self._pp_searches,
             evictions=self._evictions,
             precompute_seconds=self._precompute_seconds,
@@ -232,3 +280,29 @@ class DistanceOracle(abc.ABC):
         return nx.single_source_dijkstra_path_length(
             self._graph, source, weight="travel_time"
         )
+
+    def _dijkstra_to(self, target: int) -> dict[int, float]:
+        """One Dijkstra on the reversed graph: ``source -> d(source, target)``.
+
+        This is the reverse-SSSP batching primitive — a single run
+        answers every many-to-one distance towards ``target``.
+        """
+        self._reverse_sssp_runs += 1
+        return nx.single_source_dijkstra_path_length(
+            self._reverse_graph(), target, weight="travel_time"
+        )
+
+    def _reverse_graph(self) -> nx.DiGraph:
+        """The reversed graph, materialised once on first use.
+
+        A materialised copy (not a ``reverse(copy=False)`` view) keeps
+        reverse Dijkstra as fast as forward; it is dropped by
+        :meth:`clear` implementations that call :meth:`_drop_reverse_graph`
+        so graph edits do not leave a stale copy behind.
+        """
+        if self._reversed_graph is None:
+            self._reversed_graph = self._graph.reverse(copy=True)
+        return self._reversed_graph
+
+    def _drop_reverse_graph(self) -> None:
+        self._reversed_graph = None

@@ -47,6 +47,10 @@ DEFAULT_NUM_LANDMARKS = 8
 #: Default bound on the point-to-point result cache.
 DEFAULT_PAIR_CACHE_SIZE = 200_000
 
+#: Above this many unanswered sources towards one target, a single
+#: backward Dijkstra from the target beats per-pair ALT searches.
+_MANY_TO_ONE_CUTOFF = 4
+
 
 class LandmarkOracle(DistanceOracle):
     """Point-to-point oracle using landmark (ALT) bidirectional A*.
@@ -144,19 +148,72 @@ class LandmarkOracle(DistanceOracle):
         self._queries += 1
         return self._dijkstra_from(source)
 
+    def travel_times_to(self, target: int) -> Mapping[int, float]:
+        """All travel times to ``target`` via one backward Dijkstra.
+
+        Runs over the reverse adjacency lists that already exist for the
+        landmark tables, so no extra precomputation is needed.
+        """
+        self._queries += 1
+        distances = self._sssp(self._index[target], self._rev, reverse=True)
+        return {
+            self._nodes[idx]: dist
+            for idx, dist in enumerate(distances)
+            if dist != _INF
+        }
+
     def travel_times_many(
         self, sources: Iterable[int], targets: Iterable[int]
     ) -> dict[tuple[int, int], float]:
+        """Batched product queries with many-to-one backward batching.
+
+        Pairs already memoised are answered from the pair cache.  When a
+        target still has several unanswered sources, one *backward*
+        search from the target over the reverse adjacency settles all of
+        them together (stopping as soon as the last requested source is
+        reached) instead of running one goal-directed ALT search per
+        pair; the results are folded back into the pair cache.  Small
+        remainders keep using the per-pair ALT search, which explores
+        far less of the graph.
+        """
         source_list = list(dict.fromkeys(sources))
         target_list = list(dict.fromkeys(targets))
+        self._batched_queries += len(source_list) * len(target_list)
         result: dict[tuple[int, int], float] = {}
-        for source in source_list:
-            for target in target_list:
-                self._batched_queries += 1
-                try:
-                    result[(source, target)] = self.travel_time(source, target)
-                except UnreachableError:
+        for target in target_list:
+            pending: list[int] = []
+            for source in source_list:
+                if source == target:
+                    result[(source, target)] = 0.0
                     continue
+                key = (source, target)
+                cached = self._pair_cache.get(key, _MISSING)
+                if cached is not _MISSING:
+                    self._cache_hits += 1
+                    self._pair_cache.move_to_end(key)
+                    if cached is not None:
+                        result[key] = cached
+                else:
+                    pending.append(source)
+            if not pending:
+                continue
+            self._cache_misses += len(pending)
+            if len(pending) > _MANY_TO_ONE_CUTOFF:
+                found = self._backward_search(target, pending)
+                for source in pending:
+                    value = found.get(source)
+                    self._remember((source, target), value)
+                    if value is not None:
+                        result[(source, target)] = value
+            else:
+                for source in pending:
+                    distance = self._bidirectional_alt(
+                        self._index[source], self._index[target]
+                    )
+                    self._remember((source, target), distance)
+                    if distance is not None:
+                        result[(source, target)] = distance
+        self._queries += len(result)
         return result
 
     # ------------------------------------------------------------------
@@ -206,7 +263,7 @@ class LandmarkOracle(DistanceOracle):
     def _add_landmark(self, idx: int) -> None:
         self._landmarks.append(idx)
         self._dist_from.append(self._sssp(idx, self._fwd))
-        self._dist_to.append(self._sssp(idx, self._rev))
+        self._dist_to.append(self._sssp(idx, self._rev, reverse=True))
 
     @staticmethod
     def _farthest(distances: list[float], fallback: int | None) -> int | None:
@@ -216,9 +273,17 @@ class LandmarkOracle(DistanceOracle):
                 best, best_dist = idx, dist
         return best
 
-    def _sssp(self, start: int, adjacency: list[list[tuple[int, float]]]) -> list[float]:
+    def _sssp(
+        self,
+        start: int,
+        adjacency: list[list[tuple[int, float]]],
+        reverse: bool = False,
+    ) -> list[float]:
         """Array-based Dijkstra over a plain adjacency list (counted)."""
-        self._sssp_runs += 1
+        if reverse:
+            self._reverse_sssp_runs += 1
+        else:
+            self._sssp_runs += 1
         dist = [_INF] * len(self._nodes)
         dist[start] = 0.0
         heap: list[tuple[float, int]] = [(0.0, start)]
@@ -232,6 +297,41 @@ class LandmarkOracle(DistanceOracle):
                     dist[v] = nd
                     heappush(heap, (nd, v))
         return dist
+
+    # ------------------------------------------------------------------
+    # many-to-one backward search
+    # ------------------------------------------------------------------
+    def _backward_search(
+        self, target: int, source_nodes: list[int]
+    ) -> dict[int, float]:
+        """Backward Dijkstra from ``target`` settling the given sources.
+
+        Expands the reverse adjacency from the target and stops as soon
+        as every requested source is settled; sources that remain
+        unsettled once the frontier is exhausted are unreachable.
+        Returns ``source node -> d(source, target)`` for the settled
+        subset.
+        """
+        self._reverse_sssp_runs += 1
+        remaining = {self._index[node] for node in source_nodes}
+        found: dict[int, float] = {}
+        start = self._index[target]
+        dist = [_INF] * len(self._nodes)
+        dist[start] = 0.0
+        heap: list[tuple[float, int]] = [(0.0, start)]
+        while heap and remaining:
+            d, u = heappop(heap)
+            if d > dist[u]:
+                continue
+            if u in remaining:
+                remaining.discard(u)
+                found[self._nodes[u]] = d
+            for v, w in self._rev[u]:
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    heappush(heap, (nd, v))
+        return found
 
     # ------------------------------------------------------------------
     # ALT bidirectional A*

@@ -5,6 +5,13 @@ Dijkstra the first time a source is queried and answer every later query
 from that source with a dictionary lookup — except the per-source cache
 is now an LRU bounded by ``max_sources``, so city-scale workloads that
 touch many distinct sources no longer grow the cache without limit.
+
+On top of the forward per-source cache the backend keeps a *reverse*
+per-target cache: one Dijkstra on the reversed graph from a target
+yields ``source -> d(source, target)`` for every source at once, which
+is exactly the many-sources-to-one-target shape of the dispatch hot
+path ("how far is each idle worker from this pickup?").  A batched
+query picks whichever direction needs fewer new Dijkstra runs.
 """
 
 from __future__ import annotations
@@ -31,18 +38,28 @@ class LazyDijkstraOracle(DistanceOracle):
     max_sources:
         Maximum number of source distance maps kept alive; ``None``
         means unbounded (the seed behaviour).
+    max_targets:
+        Maximum number of reverse per-target distance maps kept alive;
+        defaults to ``max_sources``.
     """
 
     name = "lazy"
 
     def __init__(
-        self, graph: nx.DiGraph, max_sources: int | None = DEFAULT_MAX_SOURCES
+        self,
+        graph: nx.DiGraph,
+        max_sources: int | None = DEFAULT_MAX_SOURCES,
+        max_targets: int | None = None,
     ) -> None:
         super().__init__(graph)
         if max_sources is not None and max_sources < 1:
             raise ValueError("max_sources must be at least 1 (or None)")
+        if max_targets is not None and max_targets < 1:
+            raise ValueError("max_targets must be at least 1 (or None)")
         self._max_sources = max_sources
+        self._max_targets = max_targets if max_targets is not None else max_sources
         self._cache: OrderedDict[int, dict[int, float]] = OrderedDict()
+        self._rcache: OrderedDict[int, dict[int, float]] = OrderedDict()
 
     # ------------------------------------------------------------------
     # queries
@@ -51,6 +68,22 @@ class LazyDijkstraOracle(DistanceOracle):
         self._queries += 1
         if source == target:
             return 0.0
+        distances = self._cache.get(source)
+        if distances is not None:
+            self._cache_hits += 1
+            self._cache.move_to_end(source)
+            if target not in distances:
+                raise UnreachableError(source, target)
+            return distances[target]
+        # A reverse map built for this target answers the pair without a
+        # new forward Dijkstra (the dispatch hot path primes these).
+        arrivals = self._rcache.get(target)
+        if arrivals is not None:
+            self._cache_hits += 1
+            self._rcache.move_to_end(target)
+            if source not in arrivals:
+                raise UnreachableError(source, target)
+            return arrivals[source]
         distances = self._distances_from(source)
         if target not in distances:
             raise UnreachableError(source, target)
@@ -60,21 +93,43 @@ class LazyDijkstraOracle(DistanceOracle):
         self._queries += 1
         return self._distances_from(source)
 
+    def travel_times_to(self, target: int) -> Mapping[int, float]:
+        self._queries += 1
+        return self._arrivals_to(target)
+
     def travel_times_many(
         self, sources: Iterable[int], targets: Iterable[int]
     ) -> dict[tuple[int, int], float]:
         source_list = list(dict.fromkeys(sources))
         target_list = list(dict.fromkeys(targets))
+        self._batched_queries += len(source_list) * len(target_list)
         result: dict[tuple[int, int], float] = {}
-        for source in source_list:
-            distances = self._distances_from(source)
+        if not source_list or not target_list:
+            return result
+        # Answer the block in whichever direction needs fewer new
+        # Dijkstra runs: per-source forward maps or per-target reverse
+        # maps.  The canonical dispatch batch (many workers, one pickup)
+        # costs a single reverse run instead of one forward run per
+        # distinct worker location.
+        missing_forward = sum(1 for s in source_list if s not in self._cache)
+        missing_reverse = sum(1 for t in target_list if t not in self._rcache)
+        if missing_reverse < missing_forward:
             for target in target_list:
-                self._queries += 1
-                self._batched_queries += 1
-                if source == target:
-                    result[(source, target)] = 0.0
-                elif target in distances:
-                    result[(source, target)] = distances[target]
+                arrivals = self._arrivals_to(target)
+                for source in source_list:
+                    if source == target:
+                        result[(source, target)] = 0.0
+                    elif source in arrivals:
+                        result[(source, target)] = arrivals[source]
+        else:
+            for source in source_list:
+                distances = self._distances_from(source)
+                for target in target_list:
+                    if source == target:
+                        result[(source, target)] = 0.0
+                    elif target in distances:
+                        result[(source, target)] = distances[target]
+        self._queries += len(result)
         return result
 
     # ------------------------------------------------------------------
@@ -82,14 +137,30 @@ class LazyDijkstraOracle(DistanceOracle):
     # ------------------------------------------------------------------
     def clear(self) -> None:
         self._cache.clear()
+        self._rcache.clear()
+        self._drop_reverse_graph()
 
     def cache_info(self) -> CacheInfo:
+        """Summary of the forward per-source cache.
+
+        ``hits``/``misses`` cover both directions (they are the uniform
+        counters); ``maxsize``/``currsize`` describe the forward cache
+        only so the ``currsize <= maxsize`` contract holds.  The reverse
+        cache's occupancy is reported through ``stats().extras``
+        (``reverse_cached_targets``).
+        """
         return CacheInfo(
             hits=self._cache_hits,
             misses=self._cache_misses,
             maxsize=self._max_sources,
             currsize=len(self._cache),
         )
+
+    def _extra_stats(self) -> dict[str, float]:
+        return {
+            "forward_cached_sources": float(len(self._cache)),
+            "reverse_cached_targets": float(len(self._rcache)),
+        }
 
     # ------------------------------------------------------------------
     # internals
@@ -107,3 +178,17 @@ class LazyDijkstraOracle(DistanceOracle):
             self._cache.popitem(last=False)
             self._evictions += 1
         return distances
+
+    def _arrivals_to(self, target: int) -> dict[int, float]:
+        cached = self._rcache.get(target)
+        if cached is not None:
+            self._cache_hits += 1
+            self._rcache.move_to_end(target)
+            return cached
+        self._cache_misses += 1
+        arrivals = self._dijkstra_to(target)
+        self._rcache[target] = arrivals
+        if self._max_targets is not None and len(self._rcache) > self._max_targets:
+            self._rcache.popitem(last=False)
+            self._evictions += 1
+        return arrivals

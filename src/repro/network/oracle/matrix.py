@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 import time
+from collections import OrderedDict
 from typing import Iterable, Mapping
 
 import networkx as nx
@@ -29,6 +30,9 @@ import numpy as np
 
 from ...exceptions import UnreachableError
 from .base import CacheInfo, DistanceOracle
+
+#: Bound on memoised reverse arrival maps (each is O(num_nodes)).
+DEFAULT_MAX_REVERSE_MAPS = 1024
 
 
 class MatrixOracle(DistanceOracle):
@@ -61,6 +65,11 @@ class MatrixOracle(DistanceOracle):
         }
         self._num_nodes = len(self._columns)
         self._rows: dict[int, np.ndarray] = {}
+        # Reverse arrival maps (target -> {source: seconds}) built for
+        # many-to-one batches whose sources have no rows; memoised (LRU
+        # bounded, each map is O(V)) so repeated dispatch probes against
+        # the same pickup do not rerun the reverse Dijkstra.
+        self._reverse_maps: OrderedDict[int, dict[int, float]] = OrderedDict()
         self._max_rows = max_rows
         self._refreshes = 0
         initial = list(dict.fromkeys(nodes)) if nodes is not None else list(
@@ -108,11 +117,38 @@ class MatrixOracle(DistanceOracle):
             if not math.isinf(row[idx])
         }
 
+    def travel_times_to(self, target: int) -> Mapping[int, float]:
+        """All travel times to ``target``, read down the target's column.
+
+        When every graph node has a materialised row this is a pure
+        column scan over precomputed data.  With partial row coverage a
+        single reverse Dijkstra fills in the sources without rows — it
+        does *not* materialise their rows, so a many-to-one probe does
+        not inflate the row store.
+        """
+        self._queries += 1
+        idx = self._columns[target]
+        if len(self._rows) == self._num_nodes:
+            self._cache_hits += 1
+            return {
+                source: float(row[idx])
+                for source, row in self._rows.items()
+                if not math.isinf(row[idx])
+            }
+        arrivals = dict(self._arrivals_to(target))
+        for source, row in self._rows.items():
+            if not math.isinf(row[idx]):
+                arrivals[source] = float(row[idx])
+        return arrivals
+
     def travel_times_many(
         self, sources: Iterable[int], targets: Iterable[int]
     ) -> dict[tuple[int, int], float]:
         source_list = list(dict.fromkeys(sources))
         target_list = list(dict.fromkeys(targets))
+        self._batched_queries += len(source_list) * len(target_list)
+        if len(target_list) == 1 and len(source_list) > 1:
+            return self._many_to_one(source_list, target_list[0])
         # Batched refresh: materialise every missing source in one go.
         missing = [source for source in source_list if source not in self._rows]
         if missing:
@@ -124,14 +160,47 @@ class MatrixOracle(DistanceOracle):
         for source in source_list:
             row = self._rows[source]
             for target, idx in zip(target_list, columns):
-                self._queries += 1
-                self._batched_queries += 1
                 if source == target:
                     result[(source, target)] = 0.0
                     continue
                 value = row[idx]
                 if not math.isinf(value):
                     result[(source, target)] = float(value)
+        self._queries += len(result)
+        return result
+
+    def _many_to_one(
+        self, source_list: list[int], target: int
+    ) -> dict[tuple[int, int], float]:
+        """Answer a many-sources-to-one-target batch by column reads.
+
+        Sources with a materialised row are read down the target's
+        column; the remainder is settled with one reverse Dijkstra
+        instead of one forward Dijkstra (row build) per missing source.
+        """
+        idx = self._columns[target]
+        missing = [
+            source
+            for source in source_list
+            if source not in self._rows and source != target
+        ]
+        arrivals: dict[int, float] = {}
+        if missing:
+            arrivals = self._arrivals_to(target)
+        self._cache_hits += len(source_list) - len(missing)
+        result: dict[tuple[int, int], float] = {}
+        for source in source_list:
+            if source == target:
+                result[(source, target)] = 0.0
+                continue
+            row = self._rows.get(source)
+            if row is not None:
+                value = row[idx]
+                if not math.isinf(value):
+                    result[(source, target)] = float(value)
+            elif source in arrivals:
+                result[(source, target)] = arrivals[source]
+        self._queries += len(result)
         return result
 
     # ------------------------------------------------------------------
@@ -140,6 +209,8 @@ class MatrixOracle(DistanceOracle):
     def clear(self) -> None:
         """Drop every row; they are rebuilt lazily on the next queries."""
         self._rows.clear()
+        self._reverse_maps.clear()
+        self._drop_reverse_graph()
 
     def cache_info(self) -> CacheInfo:
         return CacheInfo(
@@ -153,11 +224,27 @@ class MatrixOracle(DistanceOracle):
         return {
             "matrix_rows": float(len(self._rows)),
             "matrix_refreshes": float(self._refreshes),
+            "reverse_cached_targets": float(len(self._reverse_maps)),
         }
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _arrivals_to(self, target: int) -> dict[int, float]:
+        """Memoised reverse arrival map (one miss per map built)."""
+        cached = self._reverse_maps.get(target)
+        if cached is not None:
+            self._cache_hits += 1
+            self._reverse_maps.move_to_end(target)
+            return cached
+        self._cache_misses += 1
+        arrivals = self._dijkstra_to(target)
+        self._reverse_maps[target] = arrivals
+        if len(self._reverse_maps) > DEFAULT_MAX_REVERSE_MAPS:
+            self._reverse_maps.popitem(last=False)
+            self._evictions += 1
+        return arrivals
+
     def _build_rows(self, sources: list[int]) -> None:
         if not sources:
             return

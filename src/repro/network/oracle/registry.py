@@ -34,7 +34,9 @@ OracleFactory = Callable[..., DistanceOracle]
 
 def _make_lazy(graph: nx.DiGraph, **options) -> LazyDijkstraOracle:
     return LazyDijkstraOracle(
-        graph, max_sources=options.get("cache_size", DEFAULT_MAX_SOURCES)
+        graph,
+        max_sources=options.get("cache_size", DEFAULT_MAX_SOURCES),
+        max_targets=options.get("reverse_cache_size"),
     )
 
 
@@ -75,6 +77,7 @@ def create_oracle(
     *,
     nodes: Iterable[int] | None = None,
     cache_size: int | None = None,
+    reverse_cache_size: int | None = None,
     num_landmarks: int | None = None,
     seed: int = 0,
 ) -> DistanceOracle:
@@ -82,7 +85,9 @@ def create_oracle(
 
     Unspecified options fall back to the backend's own defaults; options
     a backend has no use for are ignored (a matrix oracle does not care
-    about ``num_landmarks``).
+    about ``num_landmarks``).  ``reverse_cache_size`` bounds the lazy
+    backend's per-target reverse distance-map cache (defaults to
+    ``cache_size``).
     """
     try:
         factory = ORACLE_BACKENDS[name]
@@ -93,6 +98,8 @@ def create_oracle(
     options = {"nodes": nodes, "seed": seed}
     if cache_size is not None:
         options["cache_size"] = cache_size
+    if reverse_cache_size is not None:
+        options["reverse_cache_size"] = reverse_cache_size
     if num_landmarks is not None:
         options["num_landmarks"] = num_landmarks
     return factory(graph, **options)

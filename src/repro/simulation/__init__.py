@@ -1,12 +1,14 @@
 """Event-driven ridesharing simulation: fleet, dispatchers, engine, metrics."""
 
 from .fleet import WorkerFleet, Assignment
+from .spatial import WorkerSpatialIndex
 from .dispatcher import Dispatcher, ServedOrder, DispatchResult, served_orders_from_group
 from .metrics import MetricsCollector, SimulationMetrics
 from .engine import Simulator, SimulationResult
 
 __all__ = [
     "WorkerFleet",
+    "WorkerSpatialIndex",
     "Assignment",
     "Dispatcher",
     "ServedOrder",

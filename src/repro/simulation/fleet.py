@@ -9,9 +9,14 @@ only questions the dispatchers ask of them:
   group's route and account the driven travel time (the worker-cost part
   of the Unified Cost metric).
 
-The grid index restricts nearest-worker searches to expanding rings of
-cells around the group's first pickup, mirroring the paper's use of a
-grid index "to speed up workers and riders search" (Section VII-A).
+The grid-backed :class:`~repro.simulation.spatial.WorkerSpatialIndex`
+restricts nearest-worker searches to expanding rings of cells around the
+group's first pickup, mirroring the paper's use of a grid index "to
+speed up workers and riders search" (Section VII-A); each ring is priced
+with one many-to-one oracle batch (a single reverse-graph search on the
+lazy backend).  The index is maintained incrementally as workers are
+assigned and released, and the search stops as soon as the best feasible
+worker found cannot be beaten by any farther ring.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from typing import Iterable, Iterator, Sequence, TYPE_CHECKING
 from ..exceptions import ConfigurationError
 from ..model.worker import Worker
 from ..network.grid import GridIndex
+from .spatial import WorkerSpatialIndex
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..model.group import Group
@@ -50,6 +56,10 @@ class WorkerFleet:
         Road network for approach-time queries.
     grid:
         Optional spatial index; built from the network when omitted.
+    use_spatial_index:
+        When true (default) nearest-worker searches expand grid rings
+        around the pickup and stop early; when false every search scans
+        the whole fleet (kept for benchmarking the pruning win).
     """
 
     def __init__(
@@ -57,13 +67,29 @@ class WorkerFleet:
         workers: Sequence[Worker],
         network: "RoadNetwork",
         grid: GridIndex | None = None,
+        use_spatial_index: bool = True,
     ) -> None:
         if not workers:
             raise ConfigurationError("a fleet needs at least one worker")
         self._workers = {worker.worker_id: worker for worker in workers}
+        # Position in the given sequence; ties in approach time resolve
+        # to the earliest worker, matching the historical scan order.
+        self._order_index = {
+            worker.worker_id: position for position, worker in enumerate(workers)
+        }
         self._network = network
         self._grid = grid if grid is not None else GridIndex(network, size=10)
+        self._spatial: WorkerSpatialIndex | None = None
+        if use_spatial_index:
+            self._spatial = WorkerSpatialIndex(network, self._grid)
+            for worker in self._workers.values():
+                self._spatial.insert(worker.worker_id, worker.location)
         self._total_travel_time = 0.0
+        # Memo of the last nearest-worker search: (group, now, worker).
+        # ``can_serve`` and the immediately following ``assign`` used to
+        # run the same search twice per dispatch decision; any change to
+        # the idle pool invalidates the memo.
+        self._find_memo: tuple["Group", float, Worker | None] | None = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -83,6 +109,11 @@ class WorkerFleet:
         """Total driven time (approach + route legs) booked so far."""
         return self._total_travel_time
 
+    @property
+    def spatial_index(self) -> WorkerSpatialIndex | None:
+        """The worker spatial index (``None`` when scanning is forced)."""
+        return self._spatial
+
     def idle_workers(self, now: float) -> list[Worker]:
         """Workers available for a new assignment at ``now``."""
         self.release_finished(now)
@@ -101,6 +132,8 @@ class WorkerFleet:
         for worker in self._workers.values():
             if worker.release_if_done(now):
                 released += 1
+        if released:
+            self._find_memo = None
         return released
 
     def find_worker_for(self, group: "Group", now: float) -> Worker | None:
@@ -110,34 +143,28 @@ class WorkerFleet:
         the route's first stop and then complete each member's sub-route
         before that member's deadline.  Capacity must cover the group's
         total riders.
+
+        The result is memoised per ``(group, now)`` until the idle pool
+        changes, so a ``can_serve`` probe followed by the booking's own
+        lookup costs one search, not two.
         """
-        candidates = [
-            worker
-            for worker in self.idle_workers(now)
-            if worker.capacity >= group.total_riders()
-        ]
-        if not candidates:
-            return None
-        start_node = group.route.start_node
-        # One batched oracle call for every candidate's approach leg;
-        # workers parked at unreachable locations are simply skipped.
-        approaches = self._network.travel_times_many(
-            (worker.location for worker in candidates), [start_node]
-        )
-        best_worker: Worker | None = None
-        best_approach = float("inf")
-        for worker in candidates:
-            approach = approaches.get((worker.location, start_node))
-            if approach is None or approach >= best_approach:
-                continue
-            if not self._group_feasible_with_approach(group, now, approach):
-                continue
-            best_worker = worker
-            best_approach = approach
-        return best_worker
+        self.release_finished(now)
+        memo = self._find_memo
+        if memo is not None and memo[0] is group and memo[1] == now:
+            return memo[2]
+        if self._spatial is not None:
+            worker = self._find_by_rings(group, now)
+        else:
+            worker = self._find_by_scan(group, now)
+        self._find_memo = (group, now, worker)
+        return worker
 
     def can_serve(self, group: "Group", now: float) -> bool:
-        """Whether any idle worker could serve the group right now."""
+        """Whether any idle worker could serve the group right now.
+
+        Runs (and memoises) the full nearest-worker search, so the
+        dispatcher's follow-up ``find_worker_for`` reuses the winner.
+        """
         return self.find_worker_for(group, now) is not None
 
     def assign(self, worker: Worker, group: "Group", now: float) -> Assignment:
@@ -150,6 +177,9 @@ class WorkerFleet:
         route_time = group.route.total_travel_time
         finish = now + approach + route_time
         worker.assign(end_location=group.route.end_node, finish_time=finish)
+        if self._spatial is not None:
+            self._spatial.move(worker.worker_id, worker.location)
+        self._find_memo = None
         self._total_travel_time += approach + route_time
         return Assignment(
             worker_id=worker.worker_id,
@@ -179,6 +209,70 @@ class WorkerFleet:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _find_by_rings(self, group: "Group", now: float) -> Worker | None:
+        """Ring-expanding nearest-worker search over the spatial index."""
+        riders = group.total_riders()
+        start_node = group.route.start_node
+        best_worker: Worker | None = None
+        best_key = (float("inf"), float("inf"))
+        assert self._spatial is not None
+        for bound, worker_ids in self._spatial.rings(start_node):
+            # Later rings cannot beat the incumbent once their travel
+            # time lower bound exceeds its approach time.
+            if best_worker is not None and bound > best_key[0]:
+                break
+            candidates = [
+                worker
+                for worker in (self._workers[wid] for wid in worker_ids)
+                if worker.is_idle and worker.capacity >= riders
+            ]
+            if not candidates:
+                continue
+            # One many-to-one oracle batch per ring: every candidate's
+            # approach leg against the single pickup node.
+            approaches = self._network.travel_times_many(
+                (worker.location for worker in candidates), [start_node]
+            )
+            for worker in candidates:
+                approach = approaches.get((worker.location, start_node))
+                if approach is None:
+                    continue
+                key = (approach, self._order_index[worker.worker_id])
+                if key >= best_key:
+                    continue
+                if not self._group_feasible_with_approach(group, now, approach):
+                    continue
+                best_worker = worker
+                best_key = key
+        return best_worker
+
+    def _find_by_scan(self, group: "Group", now: float) -> Worker | None:
+        """Full-fleet scan (the pre-index behaviour, kept for benchmarks)."""
+        candidates = [
+            worker
+            for worker in self._workers.values()
+            if worker.is_idle and worker.capacity >= group.total_riders()
+        ]
+        if not candidates:
+            return None
+        start_node = group.route.start_node
+        # One batched oracle call for every candidate's approach leg;
+        # workers parked at unreachable locations are simply skipped.
+        approaches = self._network.travel_times_many(
+            (worker.location for worker in candidates), [start_node]
+        )
+        best_worker: Worker | None = None
+        best_approach = float("inf")
+        for worker in candidates:
+            approach = approaches.get((worker.location, start_node))
+            if approach is None or approach >= best_approach:
+                continue
+            if not self._group_feasible_with_approach(group, now, approach):
+                continue
+            best_worker = worker
+            best_approach = approach
+        return best_worker
+
     def _group_feasible_with_approach(
         self, group: "Group", now: float, approach: float
     ) -> bool:

@@ -46,8 +46,9 @@ class SimulationMetrics:
     running_time_per_order: float
     average_group_size: float
     #: Distance-oracle counters accumulated during this run (backend
-    #: name, query count, cache hit rate, Dijkstra runs, ...); ``None``
-    #: when the dispatcher ran over a network without instrumentation.
+    #: name, query count, cache hit rate, forward and reverse-graph
+    #: Dijkstra runs, reverse-cache sizes, ...); ``None`` when the
+    #: dispatcher ran over a network without instrumentation.
     oracle_stats: Mapping[str, float | str] | None = None
 
     def summary_row(self) -> dict[str, float | str | int]:

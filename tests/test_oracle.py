@@ -14,6 +14,8 @@ Covers:
 
 from __future__ import annotations
 
+import random
+
 import networkx as nx
 import pytest
 
@@ -151,6 +153,174 @@ class TestTravelTimesMany:
         network = networks["grid"]
         with pytest.raises(Exception):
             network.travel_times_many([0], [999_999])
+
+
+def _random_digraph(
+    num_nodes: int, seed: int, strongly_connected: bool
+) -> nx.DiGraph:
+    """Random directed graph with asymmetric travel times.
+
+    ``strongly_connected`` adds a directed Hamiltonian cycle so every
+    node reaches every other; otherwise only a random oriented tree
+    keeps the graph weakly connected, leaving plenty of unreachable
+    (ordered) pairs.  Extra one-way edges with independent weights make
+    ``d(a, b) != d(b, a)`` the common case either way.
+    """
+    rng = random.Random(seed)
+    graph = nx.DiGraph()
+    for node in range(num_nodes):
+        graph.add_node(node, x=rng.uniform(0.0, 10.0), y=rng.uniform(0.0, 10.0))
+    if strongly_connected:
+        cycle = list(range(num_nodes))
+        rng.shuffle(cycle)
+        for u, v in zip(cycle, cycle[1:] + cycle[:1]):
+            graph.add_edge(u, v, travel_time=rng.uniform(1.0, 10.0))
+    else:
+        for node in range(1, num_nodes):
+            parent = rng.randrange(node)
+            u, v = (parent, node) if rng.random() < 0.5 else (node, parent)
+            graph.add_edge(u, v, travel_time=rng.uniform(1.0, 10.0))
+    for _ in range(3 * num_nodes):
+        u, v = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v, travel_time=rng.uniform(1.0, 10.0))
+    return graph
+
+
+class TestReverseForwardAgreement:
+    """``travel_times_to`` must agree with per-pair *forward* queries.
+
+    The subtle correctness risk of reverse-SSSP batching: on a directed
+    graph a search from the target must run over the *reversed* edges,
+    otherwise it silently computes ``d(target, source)`` instead of
+    ``d(source, target)``.  These properties pin that down for every
+    backend on strongly and weakly connected digraphs with asymmetric
+    edges, including unreachable pairs.
+    """
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_CLASSES))
+    @pytest.mark.parametrize(
+        "seed,strongly", [(13, True), (14, True), (21, False), (22, False)]
+    )
+    def test_travel_times_to_matches_forward_pairs(self, backend, seed, strongly):
+        graph = _random_digraph(40, seed=seed, strongly_connected=strongly)
+        oracle = _make(backend, graph)
+        rng = random.Random(seed + 1)
+        for target in rng.sample(sorted(graph.nodes), 5):
+            arrivals = oracle.travel_times_to(target)
+            for source in graph.nodes:
+                want = _reference_distances(graph, source).get(target)
+                got = arrivals.get(source)
+                if want is None:
+                    assert got is None, (source, target)
+                else:
+                    assert got == pytest.approx(want, rel=1e-9, abs=1e-6)
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_CLASSES))
+    def test_many_to_one_batch_matches_forward_pairs(self, backend):
+        graph = _random_digraph(40, seed=31, strongly_connected=False)
+        oracle = _make(backend, graph)
+        nodes = sorted(graph.nodes)
+        target = nodes[7]
+        block = oracle.travel_times_many(nodes, [target])
+        for source in nodes:
+            want = (
+                0.0
+                if source == target
+                else _reference_distances(graph, source).get(target)
+            )
+            if want is None:
+                assert (source, target) not in block
+            else:
+                assert block[(source, target)] == pytest.approx(
+                    want, rel=1e-9, abs=1e-6
+                )
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_CLASSES))
+    def test_reverse_is_not_forward_on_asymmetric_graphs(self, backend):
+        """Regression guard: reverse != transpose-free search."""
+        graph = _random_digraph(30, seed=47, strongly_connected=True)
+        oracle = _make(backend, graph)
+        nodes = sorted(graph.nodes)
+        asymmetric = 0
+        for target in nodes[:6]:
+            arrivals = oracle.travel_times_to(target)
+            departures = oracle.travel_times_from(target)
+            for source in nodes:
+                if source == target:
+                    continue
+                if arrivals[source] != pytest.approx(departures[source]):
+                    asymmetric += 1
+        # A random strongly connected digraph with one-way weights must
+        # produce plenty of d(s, t) != d(t, s) pairs; a backend whose
+        # reverse search forgot to flip the edges would make these equal.
+        assert asymmetric > 0
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_CLASSES))
+    def test_one_way_chain_reverse_queries(self, directed_network, backend):
+        oracle = _make(backend, directed_network.graph)
+        arrivals = oracle.travel_times_to(2)
+        assert arrivals[0] == 15.0
+        assert arrivals[1] == 5.0
+        assert 3 not in arrivals and 4 not in arrivals
+        # Nothing reaches node 0 except itself on the one-way chain.
+        assert set(oracle.travel_times_to(0)) == {0}
+
+
+class TestBatchStatsContract:
+    """``travel_times_many`` counters: attempted vs answered pairs.
+
+    ``batched_queries`` counts every pair of the requested product,
+    ``queries`` only the pairs actually answered, and cache misses are
+    charged once per distance map built — not once per pair, and not a
+    second time through ``travel_times_from``.
+    """
+
+    def test_lazy_many_to_one_counts_one_miss_per_map(self, directed_network):
+        oracle = LazyDijkstraOracle(directed_network.graph)
+        block = oracle.travel_times_many([0, 1, 3], [2])
+        stats = oracle.stats()
+        assert stats.batched_queries == 3
+        # (3, 2) is unreachable: only two pairs were answered.
+        assert len(block) == 2
+        assert stats.queries == 2
+        # One reverse map for target 2 serves the whole batch.
+        assert stats.cache_misses == 1
+        assert stats.reverse_sssp_runs == 1
+        assert stats.sssp_runs == 0
+
+    def test_lazy_forward_batch_counts_one_miss_per_source(self, networks):
+        graph = networks["grid"].graph
+        oracle = LazyDijkstraOracle(graph)
+        nodes = sorted(graph.nodes)
+        sources, targets = nodes[:2], nodes[3:7]
+        block = oracle.travel_times_many(sources, targets)
+        stats = oracle.stats()
+        assert stats.batched_queries == 8
+        assert stats.queries == len(block) == 8
+        assert stats.cache_misses == 2  # one forward map per source
+        assert stats.sssp_runs == 2
+        # Re-running the same batch is pure cache hits, no new misses.
+        oracle.travel_times_many(sources, targets)
+        stats = oracle.stats()
+        assert stats.cache_misses == 2
+        assert stats.cache_hits == 2
+
+    def test_travel_times_from_not_double_counted(self, networks):
+        graph = networks["grid"].graph
+        oracle = LazyDijkstraOracle(graph)
+        nodes = sorted(graph.nodes)
+        oracle.travel_times_many([nodes[0]], [nodes[1], nodes[2]])
+        stats = oracle.stats()
+        assert stats.queries == 2
+        assert stats.cache_misses == 1
+        # The same source through the full-map API: one more query, one
+        # hit, and crucially no second miss for the already built map.
+        oracle.travel_times_from(nodes[0])
+        stats = oracle.stats()
+        assert stats.queries == 3
+        assert stats.cache_misses == 1
+        assert stats.cache_hits == 1
 
 
 class TestLazyLru:
@@ -340,6 +510,23 @@ class TestCliSelection:
         assert args.command == "bench"
         assert args.queries == 500
         assert args.backends == ["lazy", "matrix"]
+        assert args.dispatch is False
+        assert args.json is None
+
+    def test_bench_dispatch_flags_parsed(self):
+        args = build_parser().parse_args(
+            [
+                "bench",
+                "--dispatch",
+                "--dispatch-sources",
+                "48",
+                "--json",
+                "BENCH_dispatch.json",
+            ]
+        )
+        assert args.dispatch is True
+        assert args.dispatch_sources == 48
+        assert args.json == "BENCH_dispatch.json"
 
     def test_compare_with_oracle_flag_runs(self, capsys):
         exit_code = main(
