@@ -1,17 +1,23 @@
 """Distance-oracle benchmark: query-time speedup of the new backends.
 
-The acceptance bar for the oracle subsystem is that a precomputing
-backend answers the default workload's shortest-path query mix at least
-2x faster than the seed behaviour (``LazyDijkstraOracle``), with results
-that agree pair-for-pair.  ``benchmark_oracles`` already replays an
-identical, realistically shaped query sequence (worker approach legs,
-pickup-gap probes, route legs) against fresh instances of every backend
-and cross-checks the answers, so this module simply runs it at the
-default benchmark scale, prints the table, and asserts the speedup.
+The acceptance bars for the oracle subsystem: a precomputing backend
+answers the default workload's shortest-path query mix at least 2x
+faster than the seed behaviour (``LazyDijkstraOracle``), the batched
+many-to-one dispatch path beats the per-source forward path >=5x, and
+the contraction-hierarchy backend answers cold point-to-point queries
+>=5x faster than lazy while staying competitive on the many-to-one mix
+— all with results that agree pair-for-pair and with preprocessing
+time reported honestly.  ``benchmark_oracles`` replays an identical,
+realistically shaped query sequence (worker approach legs, pickup-gap
+probes, route legs) against fresh instances of every backend and
+cross-checks the answers; ``benchmark_dispatch_queries`` does the same
+for the 32-workers-one-pickup dispatch shape and records the timings
+in ``BENCH_dispatch.json``.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -44,7 +50,7 @@ def test_oracle_backends_speedup(dataset):
     results = {
         result.backend: result
         for result in benchmark_oracles(
-            dataset, config, backends=("lazy", "landmark", "matrix"),
+            dataset, config, backends=("lazy", "landmark", "matrix", "ch"),
             num_queries=_NUM_QUERIES,
         )
     }
@@ -65,16 +71,16 @@ def test_oracle_backends_speedup(dataset):
     assert matrix.hit_rate == pytest.approx(1.0)
 
 
-def test_many_to_one_dispatch_speedup():
-    """Reverse-SSSP batching must beat per-source forward Dijkstra >=5x.
+@pytest.fixture(scope="module")
+def dispatch_bench():
+    """One shared dispatch benchmark run over every registered backend.
 
     The query mix is the dispatch hot path: >=32 idle worker locations
     against one pickup node, each round on nodes no earlier round
-    touched (one genuinely cold dispatch decision per round).  The lazy
-    backend answers the batch with a single reverse-graph Dijkstra
-    instead of one forward Dijkstra per worker location.  The timings
-    land in ``BENCH_dispatch.json`` next to the repository root so CI
-    keeps a trajectory of the speedup.
+    touched (one genuinely cold dispatch decision per round).  The
+    timings — including each backend's honest ``precompute_seconds``
+    and the CH acceptance ratios — land in ``BENCH_dispatch.json`` next
+    to the repository root so CI keeps a trajectory of the speedups.
     """
     graph = grid_city(rows=32, cols=32, seed=3, jitter=0.3).graph
     results = benchmark_dispatch_queries(
@@ -85,8 +91,16 @@ def test_many_to_one_dispatch_speedup():
     print(format_dispatch_bench_table(results, spatial))
     trajectory = Path(__file__).parent.parent / "BENCH_dispatch.json"
     write_dispatch_trajectory(trajectory, results, spatial)
-    by_backend = {result.backend: result for result in results}
-    lazy = by_backend["lazy"]
+    return {result.backend: result for result in results}
+
+
+def test_many_to_one_dispatch_speedup(dispatch_bench):
+    """Reverse-SSSP batching must beat per-source forward Dijkstra >=5x.
+
+    The lazy backend answers the batch with a single reverse-graph
+    Dijkstra instead of one forward Dijkstra per worker location.
+    """
+    lazy = dispatch_bench["lazy"]
     assert lazy.num_sources >= 32
     assert lazy.batched_seconds * 5.0 <= lazy.forward_seconds, (
         f"lazy many-to-one batch answered in {lazy.batched_seconds:.4f}s, "
@@ -94,6 +108,56 @@ def test_many_to_one_dispatch_speedup():
     )
     # One reverse run per round replaces num_sources forward runs.
     assert lazy.reverse_sssp_runs == lazy.num_rounds
+
+
+def test_ch_cold_point_to_point_speedup(dispatch_bench):
+    """CH point-to-point must beat lazy's cold Dijkstra queries >=5x.
+
+    Every dispatch round touches fresh nodes, so the per-source path is
+    a cold point-to-point measurement: one full Dijkstra per query for
+    ``lazy``, one bidirectional upward search for ``ch``.  The measured
+    ratio (and the preprocessing time it has to amortise) is recorded
+    in ``BENCH_dispatch.json`` by the shared fixture.
+    """
+    lazy = dispatch_bench["lazy"]
+    ch = dispatch_bench["ch"]
+    assert ch.forward_seconds * 5.0 <= lazy.forward_seconds, (
+        f"ch answered 768 cold point-to-point queries in "
+        f"{ch.forward_seconds:.4f}s, needed <= 1/5 of lazy's "
+        f"{lazy.forward_seconds:.4f}s"
+    )
+    # Preprocessing happened and was recorded honestly (a CH build over
+    # a 1024-node city cannot be free).
+    assert ch.precompute_seconds > 0.0
+    trajectory = json.loads(
+        (Path(__file__).parent.parent / "BENCH_dispatch.json").read_text()
+    )
+    assert trajectory["ch"]["cold_p2p_speedup_vs_lazy"] >= 5.0
+    assert trajectory["ch"]["precompute_seconds"] == ch.precompute_seconds
+    assert all(
+        "precompute_seconds" in backend for backend in trajectory["backends"]
+    )
+
+
+def test_ch_many_to_one_competitive(dispatch_bench):
+    """CH's bucket/reverse-PHAST batch must stay with the best backend.
+
+    The PR-2 backends answer the 32-workers-one-pickup mix with one
+    reverse Dijkstra (lazy/matrix) or an early-terminating backward
+    search (landmark); CH replaces that with a backward upward search
+    plus a linear downward sweep.  It is measured fastest of the four
+    at this scale — the bar is <=2x the best of the others so a noisy
+    CI runner cannot flake the build.
+    """
+    ch = dispatch_bench["ch"]
+    others = [
+        result for name, result in dispatch_bench.items() if name != "ch"
+    ]
+    best = min(result.batched_seconds for result in others)
+    assert ch.batched_seconds <= 2.0 * best, (
+        f"ch many-to-one took {ch.batched_seconds:.4f}s, best other "
+        f"backend {best:.4f}s"
+    )
 
 
 def test_spatial_index_speeds_up_find_worker_for():

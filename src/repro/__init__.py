@@ -34,6 +34,7 @@ from .network import (
     grid_city,
     manhattan_like_city,
     example_network,
+    CHOracle,
     DistanceOracle,
     LazyDijkstraOracle,
     LandmarkOracle,
@@ -100,6 +101,7 @@ __all__ = [
     "grid_city",
     "manhattan_like_city",
     "example_network",
+    "CHOracle",
     "DistanceOracle",
     "LazyDijkstraOracle",
     "LandmarkOracle",

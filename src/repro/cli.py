@@ -10,8 +10,8 @@ Three subcommands cover the common workflows:
 * ``bench``  — micro-benchmark the distance-oracle backends on a
   realistic query mix and print the timing table.
 
-Every workload command accepts ``--oracle {lazy,landmark,matrix}`` to
-pick the shortest-path backend without touching any code.
+Every workload command accepts ``--oracle {lazy,landmark,matrix,ch}``
+to pick the shortest-path backend without touching any code.
 
 The CLI is intentionally a thin veneer over :mod:`repro.experiments` so
 everything it can do is equally reachable from Python.

@@ -75,12 +75,16 @@ class SimulationConfig:
         Seed for every random decision made during the simulation.
     oracle_backend:
         Name of the distance-oracle backend answering shortest-path
-        queries (``"lazy"``, ``"landmark"``, ``"matrix"``, or any name
-        registered via ``repro.network.register_oracle``).
+        queries (``"lazy"``, ``"landmark"``, ``"matrix"``, ``"ch"``, or
+        any name registered via ``repro.network.register_oracle``).
     oracle_cache_size:
-        LRU bound of the lazy backend's per-source Dijkstra cache.
+        LRU bound of the lazy backend's per-source Dijkstra cache (the
+        ``ch`` backend uses it for its per-target bucket cache).
     oracle_landmarks:
         Number of ALT landmarks precomputed by the landmark backend.
+    oracle_witness_hops:
+        Hop limit of the witness searches run while the ``ch`` backend
+        contracts the graph (higher = fewer shortcuts, slower setup).
     """
 
     num_orders: int = 2000
@@ -99,6 +103,7 @@ class SimulationConfig:
     oracle_backend: str = "lazy"
     oracle_cache_size: int = 1024
     oracle_landmarks: int = 8
+    oracle_witness_hops: int = 5
 
     def __post_init__(self) -> None:
         if self.num_orders <= 0:
@@ -128,6 +133,8 @@ class SimulationConfig:
             raise ConfigurationError("oracle_cache_size must be at least 1")
         if self.oracle_landmarks < 1:
             raise ConfigurationError("oracle_landmarks must be at least 1")
+        if self.oracle_witness_hops < 1:
+            raise ConfigurationError("oracle_witness_hops must be at least 1")
         # Deferred import: the registry lives in the network layer, which
         # does not import this module, so there is no cycle — but keep it
         # local so merely importing repro.config stays dependency-free.

@@ -168,6 +168,10 @@ class DispatchBenchResult:
     forward_seconds: float
     batched_seconds: float
     reverse_sssp_runs: int
+    #: Wall-clock construction time of one fresh oracle (the honest
+    #: setup cost a reported speedup has to amortise — the CH backend's
+    #: contraction pass, the landmark backend's landmark Dijkstras).
+    precompute_seconds: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -245,6 +249,13 @@ def benchmark_dispatch_queries(
     batching replaced) and once through the batched
     ``travel_times_many`` many-to-one path.  Answers are cross-checked
     pair-for-pair.
+
+    Because every round touches only fresh nodes, the per-source path
+    doubles as a *cold point-to-point* measurement per backend (for the
+    lazy backend each query is a full Dijkstra; for ``ch`` it is one
+    bidirectional upward search), and ``precompute_seconds`` records
+    what one fresh oracle cost to build so reported speedups stay
+    setup-honest.
     """
     if graph is None:
         config = config or default_config(dataset)
@@ -259,7 +270,9 @@ def benchmark_dispatch_queries(
     results: list[DispatchBenchResult] = []
     for name in names:
         kwargs = dict(nodes=[], num_landmarks=None, seed=0)
+        started = time.perf_counter()
         forward_oracle = create_oracle(name, graph, **kwargs)
+        precompute_seconds = time.perf_counter() - started
         started = time.perf_counter()
         forward_answers: list[dict[int, float]] = []
         for sources, target in rounds:
@@ -300,6 +313,7 @@ def benchmark_dispatch_queries(
                 forward_seconds=forward_seconds,
                 batched_seconds=batched_seconds,
                 reverse_sssp_runs=batched_oracle.stats().reverse_sssp_runs,
+                precompute_seconds=precompute_seconds,
             )
         )
     return results
@@ -411,6 +425,26 @@ def write_dispatch_trajectory(
             for result in dispatch_results
         ],
     }
+    by_backend = {result.backend: result for result in dispatch_results}
+    if "ch" in by_backend and "lazy" in by_backend:
+        # The acceptance numbers of the CH backend: cold point-to-point
+        # speedup over the seed behaviour, many-to-one standing against
+        # the other batched backends, and the preprocessing bill both
+        # have to amortise.
+        ch = by_backend["ch"]
+        others = [r for r in dispatch_results if r.backend != "ch"]
+        payload["ch"] = {
+            "cold_p2p_speedup_vs_lazy": (
+                by_backend["lazy"].forward_seconds / ch.forward_seconds
+                if ch.forward_seconds > 0
+                else float("inf")
+            ),
+            "many_to_one_seconds": ch.batched_seconds,
+            "best_other_many_to_one_seconds": min(
+                r.batched_seconds for r in others
+            ),
+            "precompute_seconds": ch.precompute_seconds,
+        }
     if spatial_result is not None:
         payload["spatial_index"] = {
             **asdict(spatial_result),
@@ -432,6 +466,7 @@ def format_dispatch_bench_table(
         ("backend", lambda r: r.backend),
         ("sources", lambda r: f"{r.num_sources}"),
         ("rounds", lambda r: f"{r.num_rounds}"),
+        ("setup (s)", lambda r: f"{r.precompute_seconds:.3f}"),
         ("per-source (s)", lambda r: f"{r.forward_seconds:.3f}"),
         ("batched (s)", lambda r: f"{r.batched_seconds:.3f}"),
         ("rev sssp", lambda r: f"{r.reverse_sssp_runs}"),

@@ -100,6 +100,11 @@ def format_oracle_stats_table(
         ("sssp runs", lambda m: f"{int(_get(m, 'sssp_runs'))}"),
         ("rev sssp", lambda m: f"{int(_get(m, 'reverse_sssp_runs'))}"),
         ("p2p searches", lambda m: f"{int(_get(m, 'pp_searches'))}"),
+        # CH-backend counters (zero on the other backends): shortcut
+        # edges added during contraction and bucket entries scanned by
+        # the many-to-one query path.
+        ("shortcuts", lambda m: f"{int(_get(m, 'shortcuts_added'))}"),
+        ("bucket scans", lambda m: f"{int(_get(m, 'bucket_scans'))}"),
     ]
     rows = [[header for header, _ in columns]]
     for metrics in rows_source:

@@ -9,6 +9,7 @@ from .generators import (
     example_network,
 )
 from .oracle import (
+    CHOracle,
     DistanceOracle,
     LandmarkOracle,
     LazyDijkstraOracle,
@@ -28,6 +29,7 @@ __all__ = [
     "manhattan_like_city",
     "radial_city",
     "example_network",
+    "CHOracle",
     "DistanceOracle",
     "LazyDijkstraOracle",
     "LandmarkOracle",

@@ -13,9 +13,10 @@ shortest-path question to a pluggable
 :class:`~repro.network.oracle.LazyDijkstraOracle` — run one Dijkstra per
 unseen source and cache the distance map (LRU-bounded) — which matches
 the access pattern of small workloads.  Heavier workloads swap in the
-``landmark`` (ALT bidirectional A*) or ``matrix`` (precomputed dense
-rows) backend via :meth:`use_backend`, ``SimulationConfig`` or the CLI
-without any dispatcher code changing.
+``landmark`` (ALT bidirectional A*), ``matrix`` (precomputed dense
+rows) or ``ch`` (contraction hierarchy) backend via
+:meth:`use_backend`, ``SimulationConfig`` or the CLI without any
+dispatcher code changing.
 """
 
 from __future__ import annotations
@@ -197,9 +198,18 @@ class RoadNetwork:
         return self._oracle.travel_times_many(source_list, target_list)
 
     def shortest_path(self, source: int, target: int) -> list[int]:
-        """Return the node sequence of a shortest path."""
+        """Return the node sequence of a shortest path.
+
+        Answered by the attached oracle when its backend can produce
+        paths (the contraction-hierarchy backend unpacks its shortcuts
+        back into original edges); backends that only know distances
+        fall back to a plain Dijkstra on the underlying graph.
+        """
         self._require_node(source)
         self._require_node(target)
+        path = self._oracle.shortest_path(source, target)
+        if path is not None:
+            return path
         try:
             return nx.dijkstra_path(
                 self._graph, source, target, weight="travel_time"

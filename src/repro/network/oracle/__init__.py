@@ -1,6 +1,6 @@
 """Pluggable shortest-path distance oracles for the routing hot path.
 
-Three built-in backends cover the setup-cost/query-cost spectrum:
+Four built-in backends cover the setup-cost/query-cost spectrum:
 
 ==========  =======================  =====================================
 name        setup                    point-to-point query
@@ -11,6 +11,10 @@ name        setup                    point-to-point query
                                      (ALT) lower bounds
 ``matrix``  one Dijkstra per         O(1) dense-row lookup, batched
             active source            refresh for unseen sources
+``ch``      one node contraction     bidirectional *upward* search over
+            pass (edge-difference    the contraction hierarchy — tiny
+            order, witness           search spaces, no per-node state
+            searches)                proportional to the graph
 ==========  =======================  =====================================
 
 Select a backend through ``SimulationConfig(oracle_backend=...)``, the
@@ -20,11 +24,17 @@ All backends also answer the dispatch hot path's many-sources-to-
 one-target shape natively: ``travel_times_to(target)`` runs a single
 search on the *reversed* graph (lazy keeps an LRU of per-target reverse
 distance maps, landmark runs an early-terminating backward search over
-its reverse adjacency, matrix reads the target's column), and
-``travel_times_many`` routes many-to-one blocks through it.
+its reverse adjacency, matrix reads the target's column, ch runs a
+backward upward search plus a linear downward sweep — reverse PHAST),
+and ``travel_times_many`` routes many-to-one blocks through it (ch
+scans RPHAST-style target buckets with one small upward search per
+source).  The ``ch`` backend can also unpack its shortcuts back into
+original edges, so ``RoadNetwork.shortest_path`` routes through it
+instead of rerunning Dijkstra.
 """
 
 from .base import CacheInfo, DistanceOracle, OracleStats
+from .ch import CHOracle
 from .landmark import LandmarkOracle
 from .lazy import LazyDijkstraOracle
 from .matrix import MatrixOracle
@@ -38,6 +48,7 @@ from .registry import (
 
 __all__ = [
     "CacheInfo",
+    "CHOracle",
     "DistanceOracle",
     "OracleStats",
     "LazyDijkstraOracle",

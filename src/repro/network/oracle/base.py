@@ -33,6 +33,12 @@ import networkx as nx
 from ...exceptions import UnreachableError
 
 
+#: ``OracleStats.extras`` keys that are monotone counters, subtracted by
+#: snapshot deltas like the uniform counters.  Everything else in extras
+#: is a gauge or a structural constant and is reported as-is.
+COUNTER_EXTRAS = frozenset({"matrix_refreshes", "upward_settles", "bucket_scans"})
+
+
 class CacheInfo(NamedTuple):
     """``functools.lru_cache``-style cache summary for an oracle."""
 
@@ -92,7 +98,16 @@ class OracleStats:
         return (self.cache_hits / total) if total else 0.0
 
     def __sub__(self, earlier: "OracleStats") -> "OracleStats":
-        """Counter delta between two snapshots (for per-run accounting)."""
+        """Counter delta between two snapshots (for per-run accounting).
+
+        Extras listed in :data:`COUNTER_EXTRAS` are deltas like the
+        uniform counters; the remaining extras are gauges (cache
+        occupancies) or structural constants (shortcut counts, landmark
+        counts) whose latest snapshot is the meaningful per-run value.
+        """
+        extras = dict(self.extras)
+        for key in COUNTER_EXTRAS.intersection(extras):
+            extras[key] = extras[key] - earlier.extras.get(key, 0.0)
         return replace(
             self,
             queries=self.queries - earlier.queries,
@@ -103,6 +118,7 @@ class OracleStats:
             reverse_sssp_runs=self.reverse_sssp_runs - earlier.reverse_sssp_runs,
             pp_searches=self.pp_searches - earlier.pp_searches,
             evictions=self.evictions - earlier.evictions,
+            extras=extras,
         )
 
     def as_dict(self) -> dict[str, float | str]:
@@ -240,6 +256,18 @@ class DistanceOracle(abc.ABC):
         except UnreachableError:
             return False
         return True
+
+    def shortest_path(self, source: int, target: int) -> list[int] | None:
+        """Node sequence of a shortest path, or ``None`` when unsupported.
+
+        Backends that maintain enough structure to reconstruct paths
+        (e.g. the contraction-hierarchy backend's shortcut unpacking)
+        override this; the default ``None`` tells the owning
+        :class:`~repro.network.graph.RoadNetwork` to fall back to a
+        plain Dijkstra.  Overrides raise :class:`UnreachableError` for
+        disconnected pairs — ``None`` strictly means "not supported".
+        """
+        return None
 
     # ------------------------------------------------------------------
     # cache management and instrumentation

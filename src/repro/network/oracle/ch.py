@@ -1,0 +1,732 @@
+"""Contraction-hierarchy backend with bucket-based many-to-one queries.
+
+Contraction hierarchies (Geisberger et al., "Contraction Hierarchies:
+Faster and Simpler Hierarchical Routing in Road Networks") preprocess
+the graph once and then answer point-to-point queries by searching a
+tiny fraction of it:
+
+1. **Contraction.**  Nodes are removed one at a time in importance order
+   (least important first).  Removing node ``v`` must preserve all
+   shortest paths among the remaining nodes, so for every in-neighbour
+   ``u`` and out-neighbour ``w`` a *shortcut* edge ``u -> w`` of weight
+   ``d(u,v) + d(v,w)`` is added — unless a hop-limited *witness search*
+   proves a path of no greater weight already exists without ``v``.
+   The order is the classic edge-difference heuristic (shortcuts added
+   minus edges removed, plus a deleted-neighbours term) maintained with
+   a lazy-update priority queue: a node's priority is recomputed when it
+   is popped, and it is only contracted while still no worse than the
+   next candidate.  Every shortcut records its *middle node* so paths
+   can be unpacked back into original edges.
+
+2. **Queries.**  Each node gets a rank (its contraction time).  Every
+   edge of the augmented graph (original + shortcuts) is *upward* if it
+   leads to a higher-ranked node and *downward* otherwise; any shortest
+   path in the augmented graph can be taken as an up-then-down path.  A
+   point-to-point query is therefore a bidirectional Dijkstra that only
+   ever climbs: forward over upward edges from the source, backward over
+   downward edges from the target, pruned as soon as a frontier cannot
+   beat the best meeting distance.
+
+The dispatch hot-path shapes are served natively:
+
+* ``travel_times_to(target)`` runs the backward upward search from the
+  target and then one linear *downward sweep* over nodes in decreasing
+  rank order (reverse PHAST) — an exact all-sources-to-one-target map
+  without touching the reversed original graph;
+* ``travel_times_many`` uses RPHAST-style **node buckets**: the
+  backward upward search from each target deposits ``(target,
+  distance)`` entries on the nodes it settles (memoised per target, LRU
+  bounded), and one small forward upward search per source scans the
+  buckets it meets — constant-ish per-pair cost after the one
+  target-side sweep, exactly what the fleet's batched worker-to-pickup
+  blocks need;
+* ``travel_times_from(source)`` is the symmetric forward PHAST sweep.
+
+All distances are exact: witness searches are conservative (a pruned
+search just adds a shortcut it might not have needed), so no shortest
+path is ever lost.  Like the landmark backend, distances are assembled
+from shortcut weights whose additions may associate differently than a
+monolithic Dijkstra's, so answers can differ in the last few ulps;
+callers needing bitwise identity should use ``lazy`` or ``matrix``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from heapq import heapify, heappop, heappush
+from typing import Iterable, Mapping
+
+import networkx as nx
+
+from ...exceptions import UnreachableError
+from .base import CacheInfo, DistanceOracle
+
+_INF = float("inf")
+
+#: Default hop limit of the witness searches run during contraction.
+#: Higher limits find more witnesses (fewer shortcuts, faster queries)
+#: at the price of slower preprocessing; on lattice-like road networks
+#: almost every witness is short.
+DEFAULT_WITNESS_HOP_LIMIT = 5
+
+#: Settled-node cap of a single witness search, bounding preprocessing
+#: on dense or badly-shaped graphs.  A capped search is conservative:
+#: it can only add shortcuts it might not have needed.
+_WITNESS_SETTLE_LIMIT = 200
+
+#: Default bound on memoised point-to-point results.
+DEFAULT_PAIR_CACHE_SIZE = 200_000
+
+#: Default bound on memoised per-target bucket maps (each is the
+#: target's backward upward search space, typically far smaller than a
+#: full reverse distance map).
+DEFAULT_BUCKET_CACHE_SIZE = 1024
+
+#: Default bound on memoised full arrival maps (reverse-PHAST products).
+#: Each is O(num_nodes), so this is kept an order of magnitude smaller
+#: than the bucket cache — the point of the CH backend is *not* to grow
+#: matrix-like dense state.
+DEFAULT_ARRIVAL_CACHE_SIZE = 64
+
+#: At or above this many unanswered sources towards a single target, one
+#: reverse-PHAST sweep (linear in the augmented graph) beats running a
+#: forward upward search per source.
+_MANY_TO_ONE_CUTOFF = 8
+
+#: Sentinel distinguishing "not cached" from a cached unreachable verdict.
+_MISSING = object()
+
+
+class CHOracle(DistanceOracle):
+    """Contraction-hierarchy distance oracle over a directed graph.
+
+    Parameters
+    ----------
+    graph:
+        Directed graph with ``travel_time`` edge weights.
+    witness_hop_limit:
+        Hop limit of the witness searches run while contracting.
+    pair_cache_size:
+        LRU bound on memoised point-to-point results (``None`` =
+        unbounded).
+    bucket_cache_size:
+        LRU bound on memoised per-target bucket maps used by the
+        many-to-one query path.
+    arrival_cache_size:
+        LRU bound on memoised full arrival maps (each O(num_nodes));
+        kept small by default so the backend never approaches the dense
+        matrix's memory footprint.
+    seed:
+        Unused today (contraction order is deterministic) but accepted
+        so configs can thread their seed through uniformly.
+    """
+
+    name = "ch"
+
+    def __init__(
+        self,
+        graph: nx.DiGraph,
+        witness_hop_limit: int = DEFAULT_WITNESS_HOP_LIMIT,
+        pair_cache_size: int | None = DEFAULT_PAIR_CACHE_SIZE,
+        bucket_cache_size: int | None = DEFAULT_BUCKET_CACHE_SIZE,
+        arrival_cache_size: int | None = DEFAULT_ARRIVAL_CACHE_SIZE,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(graph)
+        if witness_hop_limit < 1:
+            raise ValueError("witness_hop_limit must be at least 1")
+        del seed
+        #: The hop limit used during contraction; used (with
+        #: :attr:`bucket_cache_size`) to decide whether a cached oracle
+        #: can be reused for a config's settings.
+        self.witness_hop_limit = witness_hop_limit
+        #: LRU bound of the per-target bucket cache (the registry maps
+        #: ``cache_size`` onto it).
+        self.bucket_cache_size = bucket_cache_size
+        self._pair_cache_size = pair_cache_size
+        self._arrival_cache_size = arrival_cache_size
+        # `None` marks a memoised *unreachable* verdict.
+        self._pair_cache: OrderedDict[tuple[int, int], float | None] = OrderedDict()
+        # target node -> {node index: descending-path distance to target}
+        self._bucket_cache: OrderedDict[int, dict[int, float]] = OrderedDict()
+        # target node -> full arrival map (source node -> seconds), the
+        # reverse-PHAST product used by wide many-to-one batches
+        self._arrival_cache: OrderedDict[int, dict[int, float]] = OrderedDict()
+        self._shortcuts_added = 0
+        self._upward_settles = 0
+        self._bucket_scans = 0
+
+        started = time.perf_counter()
+        self._nodes: list[int] = sorted(graph.nodes)
+        self._index: dict[int, int] = {
+            node: idx for idx, node in enumerate(self._nodes)
+        }
+        self._build()
+        self._precompute_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # preprocessing: contraction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        n = len(self._nodes)
+        # Remaining-graph adjacency, mutated as nodes are contracted.
+        # Parallel edges collapse to their minimum weight up front.
+        fwd: list[dict[int, float]] = [{} for _ in range(n)]
+        bwd: list[dict[int, float]] = [{} for _ in range(n)]
+        # Augmented edge set (original edges + shortcuts) at their final
+        # minimum weights, with the contracted middle node of a shortcut
+        # (``None`` for an original edge) for path unpacking.
+        aug: dict[tuple[int, int], float] = {}
+        middle: dict[tuple[int, int], int | None] = {}
+        for u, v, data in self._graph.edges(data=True):
+            if u == v:
+                continue
+            ui, vi = self._index[u], self._index[v]
+            w = float(data["travel_time"])
+            old = fwd[ui].get(vi)
+            if old is None or w < old:
+                fwd[ui][vi] = w
+                bwd[vi][ui] = w
+                aug[(ui, vi)] = w
+                middle[(ui, vi)] = None
+
+        contracted = [False] * n
+        deleted_neighbors = [0] * n
+        rank = [0] * n
+        order: list[int] = []
+
+        def priority(v: int, shortcuts: list[tuple[int, int, float]]) -> int:
+            removed = len(fwd[v]) + len(bwd[v])
+            return len(shortcuts) - removed + deleted_neighbors[v]
+
+        heap: list[tuple[int, int]] = []
+        for v in range(n):
+            shortcuts = self._shortcuts_for(v, fwd, bwd, contracted)
+            heap.append((priority(v, shortcuts), v))
+        heapify(heap)
+
+        while heap:
+            _, v = heappop(heap)
+            if contracted[v]:
+                continue
+            # Lazy update: the stored priority may be stale; recompute
+            # and only contract while still no worse than the runner-up.
+            shortcuts = self._shortcuts_for(v, fwd, bwd, contracted)
+            current = priority(v, shortcuts)
+            if heap and current > heap[0][0]:
+                heappush(heap, (current, v))
+                continue
+            rank[v] = len(order)
+            order.append(v)
+            contracted[v] = True
+            for ui, wi, weight in shortcuts:
+                old = fwd[ui].get(wi)
+                if old is None or weight < old:
+                    fwd[ui][wi] = weight
+                    bwd[wi][ui] = weight
+                    if old is None or weight < aug[(ui, wi)]:
+                        aug[(ui, wi)] = weight
+                        middle[(ui, wi)] = v
+                    self._shortcuts_added += 1
+            for ui in bwd[v]:
+                if not contracted[ui]:
+                    deleted_neighbors[ui] += 1
+                    del fwd[ui][v]
+            for wi in fwd[v]:
+                if not contracted[wi]:
+                    deleted_neighbors[wi] += 1
+                    del bwd[wi][v]
+            fwd[v] = {}
+            bwd[v] = {}
+
+        self._rank = rank
+        #: Node indices in decreasing rank order (the PHAST sweep order).
+        self._order_desc = order[::-1]
+        self._middle = {
+            edge: mid for edge, mid in middle.items() if mid is not None
+        }
+        # Search adjacency over the augmented graph, split by direction
+        # in rank space.  Upward edges climb (rank[head] > rank[tail]);
+        # each set is indexed from both endpoints because the sweeps and
+        # the two search directions need opposite views.
+        self._up_out: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        self._up_in: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        self._down_out: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        self._down_in: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        for (ui, vi), w in aug.items():
+            if rank[vi] > rank[ui]:
+                self._up_out[ui].append((vi, w))
+                self._up_in[vi].append((ui, w))
+            else:
+                self._down_out[ui].append((vi, w))
+                self._down_in[vi].append((ui, w))
+
+    def _shortcuts_for(
+        self,
+        v: int,
+        fwd: list[dict[int, float]],
+        bwd: list[dict[int, float]],
+        contracted: list[bool],
+    ) -> list[tuple[int, int, float]]:
+        """Shortcuts required to contract ``v`` from the remaining graph."""
+        ins = [(u, w) for u, w in bwd[v].items() if not contracted[u]]
+        outs = [(w, wt) for w, wt in fwd[v].items() if not contracted[w]]
+        shortcuts: list[tuple[int, int, float]] = []
+        if not ins or not outs:
+            return shortcuts
+        max_out = max(wt for _, wt in outs)
+        for u, w_in in ins:
+            witness = self._witness_search(u, v, w_in + max_out, fwd, contracted)
+            for w, w_out in outs:
+                if w == u:
+                    continue
+                through = w_in + w_out
+                if witness.get(w, _INF) > through:
+                    shortcuts.append((u, w, through))
+        return shortcuts
+
+    def _witness_search(
+        self,
+        source: int,
+        excluded: int,
+        limit: float,
+        fwd: list[dict[int, float]],
+        contracted: list[bool],
+    ) -> dict[int, float]:
+        """Hop- and distance-limited Dijkstra avoiding ``excluded``.
+
+        Conservative on purpose: hop limit, distance limit and settle
+        cap can all hide a genuine witness, which merely means an extra
+        shortcut gets added — correctness never depends on this search
+        being complete.
+        """
+        dist: dict[int, float] = {source: 0.0}
+        hops: dict[int, int] = {source: 0}
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        hop_limit = self.witness_hop_limit
+        settled = 0
+        while heap:
+            d, x = heappop(heap)
+            if d > dist.get(x, _INF):
+                continue
+            settled += 1
+            if settled > _WITNESS_SETTLE_LIMIT:
+                break
+            h = hops[x]
+            if h >= hop_limit:
+                continue
+            for y, w in fwd[x].items():
+                if y == excluded or contracted[y]:
+                    continue
+                nd = d + w
+                if nd <= limit and nd < dist.get(y, _INF):
+                    dist[y] = nd
+                    hops[y] = h + 1
+                    heappush(heap, (nd, y))
+        return dist
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def travel_time(self, source: int, target: int) -> float:
+        self._queries += 1
+        if source == target:
+            return 0.0
+        key = (source, target)
+        cached = self._pair_cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            self._cache_hits += 1
+            self._pair_cache.move_to_end(key)
+            if cached is None:
+                raise UnreachableError(source, target)
+            return cached
+        self._cache_misses += 1
+        distance, _, _, _ = self._bidirectional_upward(
+            self._index[source], self._index[target]
+        )
+        self._remember(key, distance)
+        if distance is None:
+            raise UnreachableError(source, target)
+        return distance
+
+    def travel_times_from(self, source: int) -> Mapping[int, float]:
+        """One-to-all distances via PHAST (upward search + downward sweep)."""
+        self._queries += 1
+        self._sssp_runs += 1
+        dist = self._forward_upward_array(self._index[source])
+        for u in self._order_desc:
+            du = dist[u]
+            if du == _INF:
+                continue
+            for v, w in self._down_out[u]:
+                nd = du + w
+                if nd < dist[v]:
+                    dist[v] = nd
+        return {
+            self._nodes[idx]: d for idx, d in enumerate(dist) if d != _INF
+        }
+
+    def travel_times_to(self, target: int) -> Mapping[int, float]:
+        """All-to-one distances via reverse PHAST (memoised per target).
+
+        The backward upward search from ``target`` settles the nodes
+        whose rank-descending paths reach it; the sweep in decreasing
+        rank order then folds the ascending first half of every
+        ``source -> apex -> target`` path in, one upward edge at a time.
+        """
+        self._queries += 1
+        return self._arrivals_to(target)
+
+    def _arrivals_to(self, target: int) -> dict[int, float]:
+        """Memoised reverse-PHAST arrival map (one miss per map built)."""
+        cached = self._arrival_cache.get(target)
+        if cached is not None:
+            self._cache_hits += 1
+            self._arrival_cache.move_to_end(target)
+            return cached
+        self._cache_misses += 1
+        self._reverse_sssp_runs += 1
+        dist = [_INF] * len(self._nodes)
+        backward = self._upward_search(self._index[target], self._down_in)
+        for idx, d in backward.items():
+            dist[idx] = d
+        for u in self._order_desc:
+            du = dist[u]
+            if du == _INF:
+                continue
+            for v, w in self._up_in[u]:
+                nd = w + du
+                if nd < dist[v]:
+                    dist[v] = nd
+        arrivals = {
+            self._nodes[idx]: d for idx, d in enumerate(dist) if d != _INF
+        }
+        self._arrival_cache[target] = arrivals
+        if (
+            self._arrival_cache_size is not None
+            and len(self._arrival_cache) > self._arrival_cache_size
+        ):
+            self._arrival_cache.popitem(last=False)
+            self._evictions += 1
+        return arrivals
+
+    def travel_times_many(
+        self, sources: Iterable[int], targets: Iterable[int]
+    ) -> dict[tuple[int, int], float]:
+        """Batched product queries via RPHAST-style target buckets.
+
+        Every target contributes its (memoised) backward upward search
+        space as bucket entries ``node -> (target, distance)``; one
+        forward upward search per source then scans the buckets of the
+        nodes it settles, so each additional pair costs a handful of
+        bucket lookups instead of a graph search.  Wide single-target
+        batches — the dispatch shape, many idle workers against one
+        pickup — switch to one reverse-PHAST sweep instead, which is
+        linear in the augmented graph and beats per-source searches past
+        ``_MANY_TO_ONE_CUTOFF`` sources.  Pairs already memoised in the
+        point-to-point cache skip their share of the work, and every
+        answered pair is folded back into it.
+
+        Miss accounting follows the one-miss-per-search convention: one
+        per forward upward search run and one per target-side map built
+        (inside the helpers) — not one per pending pair — so hit rates
+        stay comparable with the lazy backend's.
+        """
+        source_list = list(dict.fromkeys(sources))
+        target_list = list(dict.fromkeys(targets))
+        self._batched_queries += len(source_list) * len(target_list)
+        result: dict[tuple[int, int], float] = {}
+        if not source_list or not target_list:
+            return result
+        pending_by_source: dict[int, list[int]] = {}
+        needed_targets: list[int] = []
+        needed_seen: set[int] = set()
+        for s_node in source_list:
+            pending: list[int] = []
+            for t_node in target_list:
+                if s_node == t_node:
+                    result[(s_node, t_node)] = 0.0
+                    continue
+                key = (s_node, t_node)
+                cached = self._pair_cache.get(key, _MISSING)
+                if cached is not _MISSING:
+                    self._cache_hits += 1
+                    self._pair_cache.move_to_end(key)
+                    if cached is not None:
+                        result[key] = cached
+                    continue
+                pending.append(t_node)
+                if t_node not in needed_seen:
+                    needed_seen.add(t_node)
+                    needed_targets.append(t_node)
+            if pending:
+                pending_by_source[s_node] = pending
+        if pending_by_source:
+            # Wide single-target batches (the dispatch shape) and targets
+            # whose arrival map is already memoised are answered straight
+            # from reverse PHAST — one linear sweep beats one upward
+            # search per source past the cutoff; everything else goes
+            # through the buckets.
+            wide = (
+                len(needed_targets) == 1
+                and len(pending_by_source) >= _MANY_TO_ONE_CUTOFF
+            )
+            arrival_answers: dict[int, dict[int, float]] = {}
+            bucket_targets: list[int] = []
+            for t_node in needed_targets:
+                if wide or t_node in self._arrival_cache:
+                    arrival_answers[t_node] = self._arrivals_to(t_node)
+                else:
+                    bucket_targets.append(t_node)
+            buckets: dict[int, list[tuple[int, float]]] = {}
+            for t_node in bucket_targets:
+                for idx, d in self._target_buckets(t_node).items():
+                    buckets.setdefault(idx, []).append((t_node, d))
+            for s_node, pending in pending_by_source.items():
+                bucket_pending = []
+                for t_node in pending:
+                    arrivals = arrival_answers.get(t_node)
+                    if arrivals is None:
+                        bucket_pending.append(t_node)
+                        continue
+                    value = arrivals.get(s_node)
+                    self._remember((s_node, t_node), value)
+                    if value is not None:
+                        result[(s_node, t_node)] = value
+                if not bucket_pending:
+                    continue
+                # One miss per graph search actually run, mirroring the
+                # lazy backend's one-miss-per-map-built convention (the
+                # target-side maps charge their own inside the helpers).
+                self._cache_misses += 1
+                best: dict[int, float] = {}
+                forward = self._upward_search(self._index[s_node], self._up_out)
+                for idx, df in forward.items():
+                    entries = buckets.get(idx)
+                    if not entries:
+                        continue
+                    self._bucket_scans += len(entries)
+                    for t_node, db in entries:
+                        nd = df + db
+                        if nd < best.get(t_node, _INF):
+                            best[t_node] = nd
+                for t_node in bucket_pending:
+                    value = best.get(t_node)
+                    self._remember((s_node, t_node), value)
+                    if value is not None:
+                        result[(s_node, t_node)] = value
+        self._queries += len(result)
+        return result
+
+    def shortest_path(self, source: int, target: int) -> list[int]:
+        """Node sequence of a shortest path, by unpacking shortcuts.
+
+        The bidirectional upward search is rerun with parent tracking,
+        the up and down halves are stitched at the meeting node, and
+        every shortcut edge is expanded through its recorded middle node
+        until only original edges remain.
+        """
+        self._queries += 1
+        if source == target:
+            return [source]
+        s, t = self._index[source], self._index[target]
+        distance, meet, parent_f, parent_b = self._bidirectional_upward(
+            s, t, with_parents=True
+        )
+        if distance is None or meet is None:
+            raise UnreachableError(source, target)
+        ascent: list[int] = [meet]
+        while ascent[-1] != s:
+            ascent.append(parent_f[ascent[-1]])
+        ascent.reverse()
+        while ascent[-1] != t:
+            ascent.append(parent_b[ascent[-1]])
+        path = [s]
+        for a, b in zip(ascent, ascent[1:]):
+            self._unpack_edge(a, b, path)
+        return [self._nodes[idx] for idx in path]
+
+    def _unpack_edge(self, a: int, b: int, out: list[int]) -> None:
+        """Append the original-node expansion of edge ``a -> b`` (sans ``a``)."""
+        stack = [(a, b)]
+        while stack:
+            u, v = stack.pop()
+            mid = self._middle.get((u, v))
+            if mid is None:
+                out.append(v)
+            else:
+                # LIFO stack: push the second half first so the first
+                # half is expanded (and emitted) first.
+                stack.append((mid, v))
+                stack.append((u, mid))
+
+    # ------------------------------------------------------------------
+    # cache management and instrumentation
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        self._pair_cache.clear()
+        self._bucket_cache.clear()
+        self._arrival_cache.clear()
+
+    def cache_info(self) -> CacheInfo:
+        """Summary of the point-to-point result cache.
+
+        ``hits``/``misses`` cover the pair cache and the per-target
+        bucket cache (the uniform counters); ``maxsize``/``currsize``
+        describe the pair cache, with the bucket cache's occupancy
+        reported through ``stats().extras`` (``bucket_cached_targets``).
+        """
+        return CacheInfo(
+            hits=self._cache_hits,
+            misses=self._cache_misses,
+            maxsize=self._pair_cache_size,
+            currsize=len(self._pair_cache),
+        )
+
+    def _extra_stats(self) -> dict[str, float]:
+        return {
+            "shortcuts_added": float(self._shortcuts_added),
+            "upward_settles": float(self._upward_settles),
+            "bucket_scans": float(self._bucket_scans),
+            "bucket_cached_targets": float(len(self._bucket_cache)),
+            "arrival_cached_targets": float(len(self._arrival_cache)),
+        }
+
+    # ------------------------------------------------------------------
+    # search internals
+    # ------------------------------------------------------------------
+    def _upward_search(
+        self, start: int, adjacency: list[list[tuple[int, float]]]
+    ) -> dict[int, float]:
+        """Dijkstra over a rank-climbing adjacency (counted).
+
+        With ``self._up_out`` this is the forward upward search from a
+        source; with ``self._down_in`` it is the backward upward search
+        from a target (downward edges traversed in reverse), whose
+        settled map is ``node -> distance of that rank-descending path
+        to start``.
+        """
+        dist: dict[int, float] = {start: 0.0}
+        heap: list[tuple[float, int]] = [(0.0, start)]
+        settles = 0
+        while heap:
+            d, u = heappop(heap)
+            if d > dist[u]:
+                continue
+            settles += 1
+            for v, w in adjacency[u]:
+                nd = d + w
+                if nd < dist.get(v, _INF):
+                    dist[v] = nd
+                    heappush(heap, (nd, v))
+        self._upward_settles += settles
+        return dist
+
+    def _forward_upward_array(self, start: int) -> list[float]:
+        """Forward upward search into a dense array (PHAST's first phase)."""
+        dist = [_INF] * len(self._nodes)
+        dist[start] = 0.0
+        heap: list[tuple[float, int]] = [(0.0, start)]
+        up_out = self._up_out
+        settles = 0
+        while heap:
+            d, u = heappop(heap)
+            if d > dist[u]:
+                continue
+            settles += 1
+            for v, w in up_out[u]:
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    heappush(heap, (nd, v))
+        self._upward_settles += settles
+        return dist
+
+    def _target_buckets(self, target: int) -> dict[int, float]:
+        """Memoised backward upward search space of ``target``."""
+        cached = self._bucket_cache.get(target)
+        if cached is not None:
+            self._cache_hits += 1
+            self._bucket_cache.move_to_end(target)
+            return cached
+        self._cache_misses += 1
+        self._reverse_sssp_runs += 1
+        buckets = self._upward_search(self._index[target], self._down_in)
+        self._bucket_cache[target] = buckets
+        if (
+            self.bucket_cache_size is not None
+            and len(self._bucket_cache) > self.bucket_cache_size
+        ):
+            self._bucket_cache.popitem(last=False)
+            self._evictions += 1
+        return buckets
+
+    def _bidirectional_upward(
+        self, s: int, t: int, with_parents: bool = False
+    ) -> tuple[
+        float | None, int | None, dict[int, int], dict[int, int]
+    ]:
+        """Bidirectional upward search; returns (distance, meeting node,
+        forward parents, backward parents) — distance ``None`` when
+        unreachable.
+
+        Both frontiers only climb in rank, and a side stops once its
+        minimum key can no longer beat the best meeting distance.  The
+        meeting check runs at settle time in either direction, which is
+        sufficient: a meeting node whose distance on one side never
+        settles below the current best cannot improve it.
+        """
+        self._pp_searches += 1
+        dist_f: dict[int, float] = {s: 0.0}
+        dist_b: dict[int, float] = {t: 0.0}
+        parent_f: dict[int, int] = {}
+        parent_b: dict[int, int] = {}
+        heap_f: list[tuple[float, int]] = [(0.0, s)]
+        heap_b: list[tuple[float, int]] = [(0.0, t)]
+        best = _INF
+        meet: int | None = None
+        settles = 0
+        while True:
+            f_live = bool(heap_f) and heap_f[0][0] < best
+            b_live = bool(heap_b) and heap_b[0][0] < best
+            if not f_live and not b_live:
+                break
+            forward = f_live and (not b_live or heap_f[0][0] <= heap_b[0][0])
+            if forward:
+                heap, dist, other, parent = heap_f, dist_f, dist_b, parent_f
+                adjacency = self._up_out
+            else:
+                heap, dist, other, parent = heap_b, dist_b, dist_f, parent_b
+                adjacency = self._down_in
+            d, u = heappop(heap)
+            if d > dist[u]:
+                continue
+            settles += 1
+            du_other = other.get(u)
+            if du_other is not None and d + du_other < best:
+                best = d + du_other
+                meet = u
+            for v, w in adjacency[u]:
+                nd = d + w
+                if nd < dist.get(v, _INF):
+                    dist[v] = nd
+                    if with_parents:
+                        parent[v] = u
+                    heappush(heap, (nd, v))
+        self._upward_settles += settles
+        if best == _INF:
+            return None, None, parent_f, parent_b
+        return best, meet, parent_f, parent_b
+
+    # ------------------------------------------------------------------
+    # pair-cache internals
+    # ------------------------------------------------------------------
+    def _remember(self, key: tuple[int, int], distance: float | None) -> None:
+        self._pair_cache[key] = distance
+        if (
+            self._pair_cache_size is not None
+            and len(self._pair_cache) > self._pair_cache_size
+        ):
+            self._pair_cache.popitem(last=False)
+            self._evictions += 1

@@ -4,8 +4,10 @@ The registry is what makes backends swappable without touching any
 dispatcher code: ``SimulationConfig.oracle_backend`` (or the CLI's
 ``--oracle`` flag) names a backend, and :func:`configure_oracle` builds
 and attaches it to the workload's :class:`RoadNetwork` before the run
-starts.  Libraries embedding the reproduction can plug in their own
-backend (e.g. a contraction-hierarchy wrapper) via
+starts.  Four backends are built in — ``lazy``, ``landmark``,
+``matrix`` and the contraction-hierarchy ``ch`` — and libraries
+embedding the reproduction can plug in their own (e.g. an
+osmnx/igraph-backed oracle for real map extracts) via
 :func:`register_oracle`.
 """
 
@@ -17,6 +19,7 @@ import networkx as nx
 
 from ...exceptions import ConfigurationError
 from .base import DistanceOracle
+from .ch import DEFAULT_BUCKET_CACHE_SIZE, DEFAULT_WITNESS_HOP_LIMIT, CHOracle
 from .landmark import DEFAULT_NUM_LANDMARKS, LandmarkOracle
 from .lazy import DEFAULT_MAX_SOURCES, LazyDijkstraOracle
 from .matrix import MatrixOracle
@@ -27,7 +30,8 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Factory signature: (graph, **options) -> DistanceOracle.  Factories
 #: must tolerate the uniform option names produced by
-#: :func:`configure_oracle` (``nodes``, ``cache_size``, ``num_landmarks``,
+#: :func:`configure_oracle` (``nodes``, ``cache_size``,
+#: ``reverse_cache_size``, ``num_landmarks``, ``witness_hop_limit``,
 #: ``seed``) and ignore the ones they do not use.
 OracleFactory = Callable[..., DistanceOracle]
 
@@ -52,10 +56,22 @@ def _make_matrix(graph: nx.DiGraph, **options) -> MatrixOracle:
     return MatrixOracle(graph, nodes=options.get("nodes"))
 
 
+def _make_ch(graph: nx.DiGraph, **options) -> CHOracle:
+    return CHOracle(
+        graph,
+        witness_hop_limit=options.get(
+            "witness_hop_limit", DEFAULT_WITNESS_HOP_LIMIT
+        ),
+        bucket_cache_size=options.get("cache_size", DEFAULT_BUCKET_CACHE_SIZE),
+        seed=options.get("seed", 0),
+    )
+
+
 ORACLE_BACKENDS: dict[str, OracleFactory] = {
     "lazy": _make_lazy,
     "landmark": _make_landmark,
     "matrix": _make_matrix,
+    "ch": _make_ch,
 }
 
 
@@ -79,6 +95,7 @@ def create_oracle(
     cache_size: int | None = None,
     reverse_cache_size: int | None = None,
     num_landmarks: int | None = None,
+    witness_hop_limit: int | None = None,
     seed: int = 0,
 ) -> DistanceOracle:
     """Instantiate a registered backend over ``graph``.
@@ -87,7 +104,8 @@ def create_oracle(
     a backend has no use for are ignored (a matrix oracle does not care
     about ``num_landmarks``).  ``reverse_cache_size`` bounds the lazy
     backend's per-target reverse distance-map cache (defaults to
-    ``cache_size``).
+    ``cache_size``); ``witness_hop_limit`` caps the witness searches of
+    the contraction-hierarchy backend's preprocessing.
     """
     try:
         factory = ORACLE_BACKENDS[name]
@@ -102,6 +120,8 @@ def create_oracle(
         options["reverse_cache_size"] = reverse_cache_size
     if num_landmarks is not None:
         options["num_landmarks"] = num_landmarks
+    if witness_hop_limit is not None:
+        options["witness_hop_limit"] = witness_hop_limit
     return factory(graph, **options)
 
 
@@ -143,6 +163,7 @@ def configure_oracle(
         nodes=nodes,
         cache_size=config.oracle_cache_size,
         num_landmarks=config.oracle_landmarks,
+        witness_hop_limit=config.oracle_witness_hops,
         seed=config.seed,
     )
     network.set_oracle(oracle)
@@ -160,4 +181,9 @@ def _options_match(oracle: DistanceOracle, config: "SimulationConfig") -> bool:
         return oracle.cache_info().maxsize == config.oracle_cache_size
     if isinstance(oracle, LandmarkOracle):
         return oracle.requested_landmarks == config.oracle_landmarks
+    if isinstance(oracle, CHOracle):
+        return (
+            oracle.witness_hop_limit == config.oracle_witness_hops
+            and oracle.bucket_cache_size == config.oracle_cache_size
+        )
     return True

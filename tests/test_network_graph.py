@@ -134,3 +134,50 @@ class TestGenerators:
     def test_example_node_rejects_unknown_label(self):
         with pytest.raises(Exception):
             example_node("z")
+
+
+class TestOracleRoutedPaths:
+    """``shortest_path`` goes through the oracle when it can produce paths."""
+
+    def test_ch_backend_answers_paths(self):
+        network = grid_city(rows=6, cols=6, seed=5, jitter=0.3)
+        reference = {
+            pair: network.shortest_path(*pair)
+            for pair in [(0, 35), (3, 30), (7, 28)]
+        }
+        network.use_backend("ch")
+        searches_before = network.oracle_stats().pp_searches
+        for (source, target), want in reference.items():
+            path = network.shortest_path(source, target)
+            assert path[0] == source and path[-1] == target
+            # Same cost as the Dijkstra fallback's path (the node
+            # sequences may differ between equal-cost paths).
+            cost = sum(
+                network.graph[u][v]["travel_time"]
+                for u, v in zip(path, path[1:])
+            )
+            want_cost = sum(
+                network.graph[u][v]["travel_time"]
+                for u, v in zip(want, want[1:])
+            )
+            assert cost == pytest.approx(want_cost, rel=1e-9)
+        # The oracle answered (bidirectional upward searches ran), not
+        # the networkx fallback.
+        assert network.oracle_stats().pp_searches > searches_before
+
+    def test_distance_only_backends_fall_back(self):
+        network = grid_city(rows=5, cols=5, seed=1)
+        network.use_backend("matrix")
+        path = network.shortest_path(0, 24)
+        assert path[0] == 0 and path[-1] == 24
+
+    def test_oracle_path_unreachable_raises(self):
+        network = build_network(
+            nodes=[(0, 0.0, 0.0), (1, 1.0, 0.0)],
+            edges=[(0, 1, 30.0)],
+            bidirectional=False,
+        )
+        network.use_backend("ch")
+        assert network.shortest_path(0, 1) == [0, 1]
+        with pytest.raises(UnreachableError):
+            network.shortest_path(1, 0)

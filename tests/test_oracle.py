@@ -25,6 +25,7 @@ from repro.exceptions import ConfigurationError, UnreachableError
 from repro.network.generators import grid_city, manhattan_like_city
 from repro.network.graph import build_network
 from repro.network.oracle import (
+    CHOracle,
     DistanceOracle,
     LandmarkOracle,
     LazyDijkstraOracle,
@@ -40,7 +41,13 @@ BACKEND_CLASSES = {
     "lazy": LazyDijkstraOracle,
     "landmark": LandmarkOracle,
     "matrix": MatrixOracle,
+    "ch": CHOracle,
 }
+
+#: Backends that assemble distances from precomputed parts (half-paths,
+#: shortcut weights) whose float additions can associate differently
+#: than a monolithic Dijkstra's — exact, but not bitwise identical.
+REASSOCIATING_BACKENDS = {"landmark", "ch"}
 
 
 def _make(backend: str, graph: nx.DiGraph) -> DistanceOracle:
@@ -93,8 +100,8 @@ class TestBackendAgreement:
 
     @pytest.mark.parametrize("backend", sorted(BACKEND_CLASSES))
     def test_exact_backends_are_bitwise_identical(self, networks, backend):
-        if backend == "landmark":
-            pytest.skip("landmark assembles distances from two half-paths")
+        if backend in REASSOCIATING_BACKENDS:
+            pytest.skip(f"{backend} assembles distances from precomputed parts")
         graph = networks["grid"].graph
         oracle = _make(backend, graph)
         nodes = sorted(graph.nodes)
@@ -382,13 +389,175 @@ class TestMatrixRefresh:
         assert oracle.stats().evictions == 1
 
 
+class TestContractionHierarchy:
+    """CH-specific behaviour: unpacking, degenerate graphs, counters."""
+
+    def test_shortest_path_unpacks_to_original_edges(self, networks):
+        graph = networks["grid"].graph
+        oracle = CHOracle(graph)
+        nodes = sorted(graph.nodes)
+        rng = random.Random(9)
+        for _ in range(40):
+            source, target = rng.choice(nodes), rng.choice(nodes)
+            path = oracle.shortest_path(source, target)
+            assert path[0] == source and path[-1] == target
+            total = sum(
+                graph[u][v]["travel_time"] for u, v in zip(path, path[1:])
+            )
+            want = nx.dijkstra_path_length(
+                graph, source, target, weight="travel_time"
+            )
+            assert total == pytest.approx(want, rel=1e-9, abs=1e-6)
+
+    def test_shortest_path_unreachable_raises(self, directed_network):
+        oracle = CHOracle(directed_network.graph)
+        assert oracle.shortest_path(0, 2) == [0, 1, 2]
+        with pytest.raises(UnreachableError):
+            oracle.shortest_path(2, 0)
+
+    def test_non_path_backends_decline(self, networks):
+        graph = networks["grid"].graph
+        for backend in ("lazy", "landmark", "matrix"):
+            assert _make(backend, graph).shortest_path(0, 1) is None
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_CLASSES))
+    def test_single_node_graph(self, backend):
+        graph = nx.DiGraph()
+        graph.add_node(0, x=0.0, y=0.0)
+        oracle = _make(backend, graph)
+        assert oracle.travel_time(0, 0) == 0.0
+        assert dict(oracle.travel_times_from(0)) == {0: 0.0}
+        assert dict(oracle.travel_times_to(0)) == {0: 0.0}
+        assert oracle.travel_times_many([0], [0]) == {(0, 0): 0.0}
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_CLASSES))
+    def test_edgeless_graph(self, backend):
+        graph = nx.DiGraph()
+        for node in range(4):
+            graph.add_node(node, x=float(node), y=0.0)
+        oracle = _make(backend, graph)
+        with pytest.raises(UnreachableError):
+            oracle.travel_time(0, 3)
+        assert dict(oracle.travel_times_to(2)) == {2: 0.0}
+        block = oracle.travel_times_many([0, 1, 2], [2, 3])
+        assert block == {(2, 2): 0.0}
+
+    def test_both_batch_paths_agree_with_dijkstra(self):
+        """Bucket scans (narrow) and reverse PHAST (wide) are both exact."""
+        graph = _random_digraph(40, seed=77, strongly_connected=False)
+        nodes = sorted(graph.nodes)
+        target = nodes[11]
+        narrow = CHOracle(graph).travel_times_many(nodes[:4], [target])
+        wide = CHOracle(graph).travel_times_many(nodes, [target])
+        for source in nodes:
+            want = (
+                0.0
+                if source == target
+                else _reference_distances(graph, source).get(target)
+            )
+            for block, members in ((narrow, nodes[:4]), (wide, nodes)):
+                if source not in members:
+                    continue
+                got = block.get((source, target))
+                if want is None:
+                    assert got is None
+                else:
+                    assert got == pytest.approx(want, rel=1e-9, abs=1e-6)
+
+    def test_tight_witness_hop_limit_stays_exact(self, networks):
+        """A hop limit of 1 adds many more shortcuts but never wrong ones."""
+        graph = networks["grid"].graph
+        loose = CHOracle(graph)
+        tight = CHOracle(graph, witness_hop_limit=1)
+        assert (
+            tight.stats().extras["shortcuts_added"]
+            >= loose.stats().extras["shortcuts_added"]
+        )
+        nodes = sorted(graph.nodes)
+        rng = random.Random(3)
+        for _ in range(60):
+            source, target = rng.choice(nodes), rng.choice(nodes)
+            want = _reference_distances(graph, source).get(target)
+            if want is None:
+                with pytest.raises(UnreachableError):
+                    tight.travel_time(source, target)
+            else:
+                assert tight.travel_time(source, target) == pytest.approx(
+                    want, rel=1e-9, abs=1e-6
+                )
+        with pytest.raises(ValueError):
+            CHOracle(graph, witness_hop_limit=0)
+
+    def test_counters_flow_through_stats(self, networks):
+        graph = networks["grid"].graph
+        oracle = CHOracle(graph)
+        stats = oracle.stats()
+        assert stats.backend == "ch"
+        assert stats.precompute_seconds > 0.0
+        assert stats.extras["shortcuts_added"] > 0
+        nodes = sorted(graph.nodes)
+        oracle.travel_time(nodes[0], nodes[-1])
+        oracle.travel_times_many(nodes[:3], [nodes[-1], nodes[-2]])
+        stats = oracle.stats()
+        assert stats.pp_searches == 1
+        assert stats.extras["upward_settles"] > 0
+        assert stats.extras["bucket_scans"] > 0
+        assert stats.queries == 1 + 6
+        assert stats.batched_queries == 6
+        # The pair cache memoises both directions of work.
+        info = oracle.cache_info()
+        assert info.currsize > 0
+        assert info.maxsize is not None
+        # Repeating the batch is pure cache hits.
+        hits_before = oracle.stats().cache_hits
+        oracle.travel_times_many(nodes[:3], [nodes[-1], nodes[-2]])
+        assert oracle.stats().cache_hits > hits_before
+        oracle.clear()
+        assert oracle.cache_info().currsize == 0
+
+
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert set(available_backends()) >= {"lazy", "landmark", "matrix"}
+        assert set(available_backends()) >= {"lazy", "landmark", "matrix", "ch"}
 
     def test_unknown_backend_rejected(self, networks):
         with pytest.raises(ConfigurationError):
             create_oracle("warp-drive", networks["grid"].graph)
+
+    def test_unknown_backend_error_lists_registered_names(self, networks):
+        with pytest.raises(ConfigurationError) as excinfo:
+            create_oracle("warp-drive", networks["grid"].graph)
+        message = str(excinfo.value)
+        for name in available_backends():
+            assert name in message
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_CLASSES))
+    def test_every_factory_tolerates_uniform_options(self, networks, backend):
+        """Factories must accept the full option set configure_oracle emits.
+
+        Every registered factory receives the uniform names (``nodes``,
+        ``cache_size``, ``reverse_cache_size``, ``num_landmarks``,
+        ``witness_hop_limit``, ``seed``) and ignores the ones it has no
+        use for — a backend that chokes on an option another backend
+        needs would make the backends non-interchangeable.
+        """
+        graph = networks["grid"].graph
+        nodes = sorted(graph.nodes)
+        oracle = create_oracle(
+            backend,
+            graph,
+            nodes=nodes[:4],
+            cache_size=64,
+            reverse_cache_size=32,
+            num_landmarks=4,
+            witness_hop_limit=3,
+            seed=5,
+        )
+        assert isinstance(oracle, BACKEND_CLASSES[backend])
+        want = _reference_distances(graph, nodes[0])[nodes[-1]]
+        assert oracle.travel_time(nodes[0], nodes[-1]) == pytest.approx(
+            want, rel=1e-9, abs=1e-6
+        )
 
     def test_custom_backend_round_trip(self, networks):
         class EchoOracle(LazyDijkstraOracle):
@@ -419,6 +588,9 @@ class TestConfigSelection:
             SimulationConfig(oracle_cache_size=0)
         with pytest.raises(ConfigurationError):
             SimulationConfig(oracle_landmarks=0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(oracle_witness_hops=0)
+        assert SimulationConfig(oracle_backend="ch").oracle_backend == "ch"
 
     def test_configure_oracle_attaches_named_backend(self):
         network = grid_city(5, 5, seed=2)
@@ -450,6 +622,24 @@ class TestConfigSelection:
             network, landmark_config.with_overrides(oracle_landmarks=6)
         )
         assert grown is not small
+        ch_config = config.with_overrides(
+            oracle_backend="ch", oracle_witness_hops=3
+        )
+        shallow = configure_oracle(network, ch_config)
+        assert isinstance(shallow, CHOracle)
+        assert configure_oracle(network, ch_config) is shallow
+        deeper = configure_oracle(
+            network, ch_config.with_overrides(oracle_witness_hops=6)
+        )
+        assert deeper is not shallow
+        assert deeper.witness_hop_limit == 6
+        rebucketed = configure_oracle(
+            network, ch_config.with_overrides(
+                oracle_witness_hops=6, oracle_cache_size=8
+            )
+        )
+        assert rebucketed is not deeper
+        assert rebucketed.bucket_cache_size == 8
 
     def test_simulator_honours_config_backend(self):
         """run_simulation (no runner involved) must attach the named backend."""
@@ -495,11 +685,44 @@ class TestConfigSelection:
             )
         assert outcomes["lazy"] == outcomes["matrix"]
 
+    def test_ch_run_agrees_with_lazy(self):
+        """The CH backend reproduces lazy's simulation outcome.
+
+        CH distances can differ from a monolithic Dijkstra's in the
+        last few ulps (shortcut additions associate differently), so
+        the float metrics are compared with a tight relative tolerance
+        rather than bitwise; the discrete outcomes must match exactly.
+        """
+        from repro.datasets.workloads import build_workload
+        from repro.experiments.config import default_config
+        from repro.experiments.runner import run_on_workload
+
+        base = default_config("CDC", num_orders=25, num_workers=6, horizon=900.0)
+        outcomes = {}
+        for backend in ("lazy", "ch"):
+            config = base.with_overrides(oracle_backend=backend)
+            workload = build_workload("CDC", config)
+            metrics = run_on_workload("WATTER-online", workload, config).metrics
+            assert metrics.oracle_stats["backend"] == backend
+            outcomes[backend] = metrics
+        lazy, ch = outcomes["lazy"], outcomes["ch"]
+        assert ch.served_orders == lazy.served_orders
+        assert ch.rejected_orders == lazy.rejected_orders
+        assert ch.service_rate == lazy.service_rate
+        assert ch.average_group_size == lazy.average_group_size
+        assert ch.total_extra_time == pytest.approx(
+            lazy.total_extra_time, rel=1e-9
+        )
+        assert ch.unified_cost == pytest.approx(lazy.unified_cost, rel=1e-9)
+        assert ch.oracle_stats["shortcuts_added"] > 0
+
 
 class TestCliSelection:
     def test_parser_accepts_oracle_flag(self):
         args = build_parser().parse_args(["compare", "--oracle", "matrix"])
         assert args.oracle == "matrix"
+        args = build_parser().parse_args(["compare", "--oracle", "ch"])
+        assert args.oracle == "ch"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compare", "--oracle", "bogus"])
 
@@ -551,6 +774,32 @@ class TestCliSelection:
         assert "matrix" in captured
         assert "Distance-oracle cache statistics" in captured
 
+    def test_compare_with_ch_oracle_runs(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--dataset",
+                "CDC",
+                "--orders",
+                "20",
+                "--workers",
+                "6",
+                "--horizon",
+                "900",
+                "--algorithms",
+                "NonSharing",
+                "GDP",
+                "--oracle",
+                "ch",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "ch" in captured
+        assert "Distance-oracle cache statistics" in captured
+        # The CH counters flow into the printed stats table.
+        assert "shortcuts" in captured and "bucket scans" in captured
+
     def test_bench_command_prints_backend_table(self, capsys):
         exit_code = main(
             [
@@ -574,3 +823,37 @@ class TestCliSelection:
         assert exit_code == 0
         assert "lazy" in captured and "matrix" in captured
         assert "us/query" in captured
+
+
+class TestStatsDelta:
+    def test_counter_extras_are_subtracted_gauges_kept(self):
+        from repro.network.oracle import OracleStats
+
+        before = OracleStats(
+            backend="ch",
+            queries=10,
+            extras={
+                "bucket_scans": 100.0,
+                "upward_settles": 50.0,
+                "shortcuts_added": 7.0,
+                "bucket_cached_targets": 3.0,
+            },
+        )
+        after = OracleStats(
+            backend="ch",
+            queries=25,
+            extras={
+                "bucket_scans": 160.0,
+                "upward_settles": 80.0,
+                "shortcuts_added": 7.0,
+                "bucket_cached_targets": 5.0,
+            },
+        )
+        delta = after - before
+        assert delta.queries == 15
+        # Counters report per-run work...
+        assert delta.extras["bucket_scans"] == 60.0
+        assert delta.extras["upward_settles"] == 30.0
+        # ...while structural constants and gauges keep their snapshot.
+        assert delta.extras["shortcuts_added"] == 7.0
+        assert delta.extras["bucket_cached_targets"] == 5.0
