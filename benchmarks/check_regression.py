@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""CI benchmark-regression gate over ``BENCH_dispatch.json`` trajectories.
+
+Compares a freshly measured dispatch-benchmark trajectory against the
+committed baseline and fails (exit code 1) when the hot path got
+meaningfully slower:
+
+* **Ratio regressions** — every recorded speedup *ratio* (per-backend
+  many-to-one speedup, the CH cold point-to-point speedup, the
+  spatial-index speedup, the sharded periodic-check speedup) must not
+  degrade by more than ``--tolerance`` (default 30%) versus the
+  baseline.  Ratios divide out absolute machine speed, so a faster or
+  slower runner does not trip the gate — only a change in the *shape*
+  of the performance does.  The parallel-dispatch ratios additionally
+  depend on the core count, so they are only compared when baseline
+  and candidate ran with the same number of usable CPUs.
+* **Acceptance flips** — every bar in the trajectory's ``acceptance``
+  section (value, threshold, met, applicable) that the baseline met
+  while applicable must still be met by an applicable candidate.
+  A bar that is not applicable on either side (e.g. the >=2x
+  process-shard bar on a single-core container) is reported, not
+  failed.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE CANDIDATE [--tolerance 0.3]
+
+The script is dependency-free on purpose: the gate must be able to
+judge a trajectory even when the library itself is broken.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 0.30
+
+
+def _load(path: str) -> dict:
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read trajectory {path!r}: {exc}")
+
+
+def _fmt(value) -> str:
+    """Format a possibly-missing numeric field without crashing the gate."""
+    if isinstance(value, (int, float)):
+        return f"{value:.2f}"
+    return repr(value)
+
+
+def collect_ratios(trajectory: dict) -> dict[str, float]:
+    """Named speedup ratios recorded in a trajectory.
+
+    Only ratios are collected — absolute seconds depend on machine
+    speed and would make the gate flake across runner generations.
+    """
+    ratios: dict[str, float] = {}
+    for entry in trajectory.get("backends", []):
+        name = entry.get("backend", "?")
+        if "speedup" in entry:
+            ratios[f"backend.{name}.many_to_one_speedup"] = entry["speedup"]
+    ch = trajectory.get("ch", {})
+    if "cold_p2p_speedup_vs_lazy" in ch:
+        ratios["ch.cold_p2p_speedup_vs_lazy"] = ch["cold_p2p_speedup_vs_lazy"]
+    spatial = trajectory.get("spatial_index", {})
+    if "speedup" in spatial:
+        ratios["spatial_index.speedup"] = spatial["speedup"]
+    return ratios
+
+
+def collect_parallel_ratios(trajectory: dict) -> dict[str, tuple[float, int]]:
+    """Sharded periodic-check speedups with the CPU count they ran on."""
+    ratios: dict[str, tuple[float, int]] = {}
+    modes = trajectory.get("parallel_dispatch", {}).get("modes", {})
+    for mode, entry in modes.items():
+        if "speedup" in entry:
+            ratios[f"parallel_dispatch.{mode}.speedup"] = (
+                entry["speedup"],
+                int(entry.get("available_cpus", 0)),
+            )
+    return ratios
+
+
+def compare(
+    baseline: dict, candidate: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Return ``(failures, notes)`` of candidate vs baseline."""
+    failures: list[str] = []
+    notes: list[str] = []
+
+    base_ratios = collect_ratios(baseline)
+    cand_ratios = collect_ratios(candidate)
+    for name, base_value in sorted(base_ratios.items()):
+        cand_value = cand_ratios.get(name)
+        if cand_value is None:
+            failures.append(f"{name}: missing from candidate trajectory")
+            continue
+        floor = base_value * (1.0 - tolerance)
+        if cand_value < floor:
+            failures.append(
+                f"{name}: {cand_value:.2f} degraded more than "
+                f"{tolerance:.0%} below baseline {base_value:.2f} "
+                f"(floor {floor:.2f})"
+            )
+        else:
+            notes.append(
+                f"{name}: {cand_value:.2f} vs baseline {base_value:.2f} ok"
+            )
+
+    base_parallel = collect_parallel_ratios(baseline)
+    cand_parallel = collect_parallel_ratios(candidate)
+    for name, (base_value, base_cpus) in sorted(base_parallel.items()):
+        entry = cand_parallel.get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from candidate trajectory")
+            continue
+        cand_value, cand_cpus = entry
+        if base_cpus != cand_cpus:
+            notes.append(
+                f"{name}: skipped (baseline ran on {base_cpus} CPUs, "
+                f"candidate on {cand_cpus} — shard speedups only compare "
+                f"like-for-like)"
+            )
+            continue
+        floor = base_value * (1.0 - tolerance)
+        if cand_value < floor:
+            failures.append(
+                f"{name}: {cand_value:.2f} degraded more than "
+                f"{tolerance:.0%} below baseline {base_value:.2f} "
+                f"(floor {floor:.2f}, {cand_cpus} CPUs both sides)"
+            )
+        else:
+            notes.append(
+                f"{name}: {cand_value:.2f} vs baseline {base_value:.2f} ok"
+            )
+
+    base_acceptance = baseline.get("acceptance", {})
+    cand_acceptance = candidate.get("acceptance", {})
+    for name, base_block in sorted(base_acceptance.items()):
+        cand_block = cand_acceptance.get(name)
+        if cand_block is None:
+            failures.append(f"acceptance.{name}: missing from candidate")
+            continue
+        base_ok = bool(base_block.get("met")) and base_block.get(
+            "applicable", True
+        )
+        cand_applicable = cand_block.get("applicable", True)
+        if not cand_applicable:
+            notes.append(
+                f"acceptance.{name}: not applicable on this machine "
+                f"(value {cand_block.get('value')})"
+            )
+            continue
+        if not cand_block.get("met"):
+            if base_ok:
+                failures.append(
+                    f"acceptance.{name}: FLIPPED — baseline met the "
+                    f"{base_block.get('threshold')} bar at "
+                    f"{_fmt(base_block.get('value'))}, candidate measured "
+                    f"{_fmt(cand_block.get('value'))}"
+                )
+            else:
+                # The baseline machine never held this bar (e.g. a
+                # 1-CPU container for the process-shard bar), so there
+                # is no flip to detect.  The absolute bar itself is
+                # asserted by the benchmark suite that produced the
+                # candidate trajectory — failing here too would double-
+                # report the same measurement; warn loudly instead.
+                notes.append(
+                    f"acceptance.{name}: WARNING — applicable here but "
+                    f"below the {cand_block.get('threshold')} bar "
+                    f"(measured {_fmt(cand_block.get('value'))}; baseline "
+                    f"machine could not measure it). The benchmark "
+                    f"suite's own assertion enforces this bar."
+                )
+        else:
+            notes.append(
+                f"acceptance.{name}: still met "
+                f"({_fmt(cand_block.get('value'))} >= "
+                f"{cand_block.get('threshold')})"
+            )
+    return failures, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_dispatch.json")
+    parser.add_argument("candidate", help="freshly measured trajectory")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional ratio degradation (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must lie in [0, 1)")
+    baseline = _load(args.baseline)
+    candidate = _load(args.candidate)
+    failures, notes = compare(baseline, candidate, args.tolerance)
+    for note in notes:
+        print(f"  ok: {note}")
+    if failures:
+        print(
+            f"\nBENCHMARK REGRESSION GATE FAILED "
+            f"({len(failures)} finding(s)):",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

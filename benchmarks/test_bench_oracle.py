@@ -12,7 +12,8 @@ realistically shaped query sequence (worker approach legs, pickup-gap
 probes, route legs) against fresh instances of every backend and
 cross-checks the answers; ``benchmark_dispatch_queries`` does the same
 for the 32-workers-one-pickup dispatch shape and records the timings
-in ``BENCH_dispatch.json``.
+in ``BENCH_dispatch.fresh.json`` (the committed ``BENCH_dispatch.json``
+is the regression-gate baseline and is never written by tests).
 """
 
 from __future__ import annotations
@@ -23,14 +24,23 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.benchmarking import (
+    CH_COLD_P2P_ACCEPTANCE_SPEEDUP,
+    MANY_TO_ONE_ACCEPTANCE_SPEEDUP,
+    PARALLEL_ACCEPTANCE_MIN_CPUS,
+    PARALLEL_ACCEPTANCE_SHARDS,
+    PARALLEL_ACCEPTANCE_SPEEDUP,
+    SPATIAL_ACCEPTANCE_SPEEDUP,
     benchmark_dispatch_queries,
     benchmark_oracles,
+    benchmark_parallel_dispatch,
     benchmark_spatial_index,
     format_dispatch_bench_table,
     format_oracle_bench_table,
+    format_parallel_bench_lines,
     write_dispatch_trajectory,
 )
 from repro.network.generators import grid_city
+from repro.simulation.parallel import usable_cpu_count
 
 from .conftest import bench_config
 
@@ -72,15 +82,38 @@ def test_oracle_backends_speedup(dataset):
 
 
 @pytest.fixture(scope="module")
-def dispatch_bench():
+def parallel_bench():
+    """The sharded periodic-check benchmark, thread and process modes.
+
+    The 1024-node / 256-worker mix of the acceptance bar: one periodic
+    check's worth of many-to-one blocks, serial vs 4 shards, results
+    cross-checked pair-for-pair (the benchmark itself raises when the
+    deterministic reducer's merge diverges from the serial answers).
+    """
+    return [
+        benchmark_parallel_dispatch(
+            grid_dim=32,
+            num_workers=256,
+            num_shards=PARALLEL_ACCEPTANCE_SHARDS,
+            mode=mode,
+        )
+        for mode in ("thread", "process")
+    ]
+
+
+@pytest.fixture(scope="module")
+def dispatch_bench(parallel_bench):
     """One shared dispatch benchmark run over every registered backend.
 
     The query mix is the dispatch hot path: >=32 idle worker locations
     against one pickup node, each round on nodes no earlier round
     touched (one genuinely cold dispatch decision per round).  The
-    timings — including each backend's honest ``precompute_seconds``
-    and the CH acceptance ratios — land in ``BENCH_dispatch.json`` next
-    to the repository root so CI keeps a trajectory of the speedups.
+    timings — including each backend's honest ``precompute_seconds``,
+    the CH acceptance ratios and the sharded periodic-check numbers —
+    land in ``BENCH_dispatch.fresh.json`` next to the repository root
+    (untracked) so the CI regression gate can compare them against the
+    *committed* ``BENCH_dispatch.json`` baseline, which stays immutable
+    unless a maintainer deliberately replaces it.
     """
     graph = grid_city(rows=32, cols=32, seed=3, jitter=0.3).graph
     results = benchmark_dispatch_queries(
@@ -89,8 +122,9 @@ def dispatch_bench():
     spatial = benchmark_spatial_index(grid_dim=32, num_workers=256, num_searches=50)
     print()
     print(format_dispatch_bench_table(results, spatial))
-    trajectory = Path(__file__).parent.parent / "BENCH_dispatch.json"
-    write_dispatch_trajectory(trajectory, results, spatial)
+    print(format_parallel_bench_lines(parallel_bench))
+    trajectory = Path(__file__).parent.parent / "BENCH_dispatch.fresh.json"
+    write_dispatch_trajectory(trajectory, results, spatial, parallel_bench)
     return {result.backend: result for result in results}
 
 
@@ -102,7 +136,10 @@ def test_many_to_one_dispatch_speedup(dispatch_bench):
     """
     lazy = dispatch_bench["lazy"]
     assert lazy.num_sources >= 32
-    assert lazy.batched_seconds * 5.0 <= lazy.forward_seconds, (
+    assert (
+        lazy.batched_seconds * MANY_TO_ONE_ACCEPTANCE_SPEEDUP
+        <= lazy.forward_seconds
+    ), (
         f"lazy many-to-one batch answered in {lazy.batched_seconds:.4f}s, "
         f"needed <= 1/5 of the per-source path's {lazy.forward_seconds:.4f}s"
     )
@@ -117,11 +154,14 @@ def test_ch_cold_point_to_point_speedup(dispatch_bench):
     a cold point-to-point measurement: one full Dijkstra per query for
     ``lazy``, one bidirectional upward search for ``ch``.  The measured
     ratio (and the preprocessing time it has to amortise) is recorded
-    in ``BENCH_dispatch.json`` by the shared fixture.
+    in ``BENCH_dispatch.fresh.json`` by the shared fixture.
     """
     lazy = dispatch_bench["lazy"]
     ch = dispatch_bench["ch"]
-    assert ch.forward_seconds * 5.0 <= lazy.forward_seconds, (
+    assert (
+        ch.forward_seconds * CH_COLD_P2P_ACCEPTANCE_SPEEDUP
+        <= lazy.forward_seconds
+    ), (
         f"ch answered 768 cold point-to-point queries in "
         f"{ch.forward_seconds:.4f}s, needed <= 1/5 of lazy's "
         f"{lazy.forward_seconds:.4f}s"
@@ -130,9 +170,12 @@ def test_ch_cold_point_to_point_speedup(dispatch_bench):
     # a 1024-node city cannot be free).
     assert ch.precompute_seconds > 0.0
     trajectory = json.loads(
-        (Path(__file__).parent.parent / "BENCH_dispatch.json").read_text()
+        (Path(__file__).parent.parent / "BENCH_dispatch.fresh.json").read_text()
     )
-    assert trajectory["ch"]["cold_p2p_speedup_vs_lazy"] >= 5.0
+    assert (
+        trajectory["ch"]["cold_p2p_speedup_vs_lazy"]
+        >= CH_COLD_P2P_ACCEPTANCE_SPEEDUP
+    )
     assert trajectory["ch"]["precompute_seconds"] == ch.precompute_seconds
     assert all(
         "precompute_seconds" in backend for backend in trajectory["backends"]
@@ -160,6 +203,66 @@ def test_ch_many_to_one_competitive(dispatch_bench):
     )
 
 
+def test_parallel_dispatch_recorded_and_consistent(parallel_bench, dispatch_bench):
+    """The sharded benchmark ran at 4 shards and landed in the trajectory.
+
+    Machine-independent properties: shard count, workload shape, the
+    pair-for-pair serial/parallel agreement (checked inside the
+    benchmark), and the acceptance block being recorded honestly —
+    including the CPU count that decides whether the >=2x bar applies.
+    """
+    by_mode = {result.mode: result for result in parallel_bench}
+    assert set(by_mode) == {"thread", "process"}
+    for result in parallel_bench:
+        assert result.num_shards == PARALLEL_ACCEPTANCE_SHARDS
+        assert result.num_nodes >= 1024
+        assert result.num_workers == 256
+        # Workers share parking nodes; the oracle is queried per
+        # distinct location and the trajectory records that honestly.
+        assert 0 < result.num_unique_locations <= result.num_workers
+        assert result.serial_seconds > 0.0 and result.parallel_seconds > 0.0
+    trajectory = json.loads(
+        (Path(__file__).parent.parent / "BENCH_dispatch.fresh.json").read_text()
+    )
+    recorded = trajectory["parallel_dispatch"]["modes"]
+    assert set(recorded) == {"thread", "process"}
+    block = trajectory["acceptance"]["parallel_dispatch_speedup_4_shards"]
+    assert block["threshold"] == PARALLEL_ACCEPTANCE_SPEEDUP
+    assert block["value"] == pytest.approx(by_mode["process"].speedup)
+    assert block["available_cpus"] == by_mode["process"].available_cpus
+    assert block["applicable"] == (
+        by_mode["process"].effective_mode == "process"
+        and by_mode["process"].available_cpus >= PARALLEL_ACCEPTANCE_MIN_CPUS
+    )
+
+
+def test_parallel_periodic_check_speedup(parallel_bench):
+    """4 process shards must >=2x the periodic-check throughput.
+
+    Process shards are hardware parallelism — four forked oracle
+    handles working one check's many-to-one blocks concurrently — so
+    the bar only means something where four shards can actually run at
+    once.  On smaller machines the measured number is still recorded in
+    ``BENCH_dispatch.fresh.json`` (with its CPU count) by the fixture above;
+    the assertion itself needs the cores.
+    """
+    cpus = usable_cpu_count()
+    process = next(r for r in parallel_bench if r.mode == "process")
+    if process.effective_mode != "process":
+        pytest.skip("fork unavailable: process shards degraded to threads")
+    if cpus < PARALLEL_ACCEPTANCE_MIN_CPUS:
+        pytest.skip(
+            f"{PARALLEL_ACCEPTANCE_SHARDS} process shards need >= "
+            f"{PARALLEL_ACCEPTANCE_MIN_CPUS} usable CPUs, have {cpus}"
+        )
+    assert process.speedup >= PARALLEL_ACCEPTANCE_SPEEDUP, (
+        f"4-shard periodic check ran {process.parallel_seconds:.4f}s vs "
+        f"serial {process.serial_seconds:.4f}s "
+        f"({process.speedup:.2f}x, needed >= "
+        f"{PARALLEL_ACCEPTANCE_SPEEDUP}x on {cpus} CPUs)"
+    )
+
+
 def test_spatial_index_speeds_up_find_worker_for():
     """The ring-expanding search must beat the full-fleet scan.
 
@@ -174,7 +277,10 @@ def test_spatial_index_speeds_up_find_worker_for():
     assert spatial.num_nodes >= 1000
     # Deterministic pruning: well under half the fleet examined.
     assert spatial.candidates_fraction < 0.5
-    assert spatial.indexed_seconds * 1.2 <= spatial.scan_seconds, (
+    assert (
+        spatial.indexed_seconds * SPATIAL_ACCEPTANCE_SPEEDUP
+        <= spatial.scan_seconds
+    ), (
         f"ring search took {spatial.indexed_seconds:.4f}s, "
         f"scan {spatial.scan_seconds:.4f}s"
     )

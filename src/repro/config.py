@@ -85,6 +85,19 @@ class SimulationConfig:
     oracle_witness_hops:
         Hop limit of the witness searches run while the ``ch`` backend
         contracts the graph (higher = fewer shortcuts, slower setup).
+    dispatch_workers:
+        Number of shards the periodic check's oracle blocks are
+        partitioned across (1 = fully serial, no engine).  Parallel
+        runs produce the same assignments and metrics as serial runs —
+        the shards only precompute travel times.  (Bitwise on the
+        ``lazy``/``matrix``/``landmark`` backends; ``ch`` carries its
+        documented last-ulp distance-assembly slack — see
+        :mod:`repro.simulation.parallel`.)
+    dispatch_mode:
+        ``"thread"`` (default, safe everywhere) or ``"process"``
+        (forked per-shard oracle handles; scales with cores on
+        CPU-bound backends, Linux/fork only — other platforms fall
+        back to threads).
     """
 
     num_orders: int = 2000
@@ -104,6 +117,8 @@ class SimulationConfig:
     oracle_cache_size: int = 1024
     oracle_landmarks: int = 8
     oracle_witness_hops: int = 5
+    dispatch_workers: int = 1
+    dispatch_mode: str = "thread"
 
     def __post_init__(self) -> None:
         if self.num_orders <= 0:
@@ -135,6 +150,16 @@ class SimulationConfig:
             raise ConfigurationError("oracle_landmarks must be at least 1")
         if self.oracle_witness_hops < 1:
             raise ConfigurationError("oracle_witness_hops must be at least 1")
+        if self.dispatch_workers < 1:
+            raise ConfigurationError("dispatch_workers must be at least 1")
+        # Deferred import, same reasoning as the oracle registry below.
+        from .simulation.parallel import DISPATCH_MODES
+
+        if self.dispatch_mode not in DISPATCH_MODES:
+            raise ConfigurationError(
+                f"unknown dispatch_mode {self.dispatch_mode!r}; "
+                f"available: {DISPATCH_MODES}"
+            )
         # Deferred import: the registry lives in the network layer, which
         # does not import this module, so there is no cycle — but keep it
         # local so merely importing repro.config stays dependency-free.

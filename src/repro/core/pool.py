@@ -136,6 +136,42 @@ class OrderPool:
         """The order's current best group (``Gb[i]``)."""
         return self._graph.best_group(order_id)
 
+    def probe_targets(self, now: float) -> list[int]:
+        """Route-start nodes the next :meth:`check` will probe workers for.
+
+        The shardable face of the periodic check: every pooled order
+        whose best group the strategy wants dispatched will ask "is
+        there a worker near this group's first stop?", and every
+        unpaired order due to dispatch alone will ask the same of its
+        pickup.  Collecting those nodes up front (deduplicated, in pool
+        order) lets a parallel dispatch engine answer all of the
+        check's many-to-one oracle blocks across shards before the
+        serial decision loop runs.  The strategy filter mirrors the
+        ``wants_dispatch`` gate of :meth:`check` — ``should_dispatch``
+        is a pure predicate, so consulting it here costs nothing the
+        check would not pay anyway — keeping held groups out of the
+        prefetch.  Expired edges are pruned first so the targets match
+        what ``check`` will actually examine; the extra
+        ``prune_expired`` is idempotent.
+        """
+        self.prune_expired(now)
+        targets: list[int] = []
+        seen: set[int] = set()
+        for order in self._graph.orders():
+            group = self._graph.best_group(order.order_id)
+            if group is not None:
+                if not self._strategy.should_dispatch(group, now):
+                    continue
+                node = group.route.start_node
+            elif self._dispatch_alone_now(order, now):
+                node = order.pickup
+            else:
+                continue
+            if node not in seen:
+                seen.add(node)
+                targets.append(node)
+        return targets
+
     # ------------------------------------------------------------------
     # Algorithm 1
     # ------------------------------------------------------------------
@@ -181,18 +217,11 @@ class OrderPool:
             )
             if wants_dispatch and can_assign is not None:
                 wants_dispatch = bool(can_assign(group, now))
-            # An unpaired order is dispatched alone once waiting longer stops
-            # being useful: either its watch window elapsed, or its remaining
-            # slack is down to the safety margin that must be kept for the
-            # worker's approach leg (waiting further would turn a servable
-            # order into a rejection).
-            safety_margin = self._check_period + _APPROACH_RESERVE * order.shortest_time
-            dispatch_alone_now = (
-                self._strategy.dispatches_unpaired_immediately
-                or now >= order.timeout_time
-                or order.slack_at(now) < safety_margin
-            )
-            if not wants_dispatch and group is None and dispatch_alone_now:
+            if (
+                not wants_dispatch
+                and group is None
+                and self._dispatch_alone_now(order, now)
+            ):
                 # The order has no shareable partner and either its watch
                 # window elapsed or waiting one more check would make even a
                 # solo ride miss its deadline: dispatch it alone if a worker
@@ -224,6 +253,23 @@ class OrderPool:
                 self._stats.held += 1
                 decisions.append(PoolDecision(order_id=order_id, hold=True))
         return decisions
+
+    def _dispatch_alone_now(self, order: Order, now: float) -> bool:
+        """Whether an unpaired order should be dispatched alone at ``now``.
+
+        Waiting longer stops being useful once the order's watch window
+        elapsed, or its remaining slack is down to the safety margin
+        that must be kept for the assigned worker's approach leg
+        (waiting further would turn a servable order into a rejection).
+        """
+        safety_margin = (
+            self._check_period + _APPROACH_RESERVE * order.shortest_time
+        )
+        return (
+            self._strategy.dispatches_unpaired_immediately
+            or now >= order.timeout_time
+            or order.slack_at(now) < safety_margin
+        )
 
     def remove(self, order_id: int, now: float) -> Order:
         """Force-remove an order (used when an assignment fails downstream)."""

@@ -153,6 +153,14 @@ class DistanceOracle(abc.ABC):
     #: Registry name; subclasses override.
     name: str = "oracle"
 
+    #: Whether this backend's query methods may be called from several
+    #: threads at once.  Most backends memoise on query (LRU caches,
+    #: lazily materialised tables) and are **not** safe without external
+    #: locking; backends that guard or pre-materialise their mutable
+    #: state set this to ``True`` and the parallel dispatch engine then
+    #: skips its serialising lock in thread mode.
+    thread_safe_queries: bool = False
+
     def __init__(self, graph: nx.DiGraph) -> None:
         self._graph = graph
         self._reversed_graph: nx.DiGraph | None = None

@@ -52,6 +52,8 @@ callers needing bitwise identity should use ``lazy`` or ``matrix``.
 
 from __future__ import annotations
 
+import functools
+import threading
 import time
 from collections import OrderedDict
 from heapq import heapify, heappop, heappush
@@ -61,6 +63,26 @@ import networkx as nx
 
 from ...exceptions import UnreachableError
 from .base import CacheInfo, DistanceOracle
+
+
+def _locked(method):
+    """Run ``method`` under the oracle's query lock (reentrant).
+
+    The hierarchy itself (ranks, augmented adjacency, shortcut middles)
+    is pre-materialised at construction and never mutated, but queries
+    memoise into the pair / bucket / arrival caches — ``OrderedDict``s
+    whose ``move_to_end`` / ``popitem`` bookkeeping corrupts under
+    concurrent mutation.  Guarding the entry points makes the oracle
+    safe to share across the parallel dispatch engine's shard threads;
+    callers see queries serialise, never torn state.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._query_lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 _INF = float("inf")
 
@@ -124,6 +146,11 @@ class CHOracle(DistanceOracle):
 
     name = "ch"
 
+    #: Queries are guarded by a reentrant lock (see :func:`_locked`),
+    #: so concurrent readers are safe — the parallel dispatch engine's
+    #: thread shards query a shared CH oracle without external locking.
+    thread_safe_queries = True
+
     def __init__(
         self,
         graph: nx.DiGraph,
@@ -156,6 +183,7 @@ class CHOracle(DistanceOracle):
         self._shortcuts_added = 0
         self._upward_settles = 0
         self._bucket_scans = 0
+        self._query_lock = threading.RLock()
 
         started = time.perf_counter()
         self._nodes: list[int] = sorted(graph.nodes)
@@ -329,6 +357,7 @@ class CHOracle(DistanceOracle):
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    @_locked
     def travel_time(self, source: int, target: int) -> float:
         self._queries += 1
         if source == target:
@@ -350,6 +379,7 @@ class CHOracle(DistanceOracle):
             raise UnreachableError(source, target)
         return distance
 
+    @_locked
     def travel_times_from(self, source: int) -> Mapping[int, float]:
         """One-to-all distances via PHAST (upward search + downward sweep)."""
         self._queries += 1
@@ -367,6 +397,7 @@ class CHOracle(DistanceOracle):
             self._nodes[idx]: d for idx, d in enumerate(dist) if d != _INF
         }
 
+    @_locked
     def travel_times_to(self, target: int) -> Mapping[int, float]:
         """All-to-one distances via reverse PHAST (memoised per target).
 
@@ -411,6 +442,7 @@ class CHOracle(DistanceOracle):
             self._evictions += 1
         return arrivals
 
+    @_locked
     def travel_times_many(
         self, sources: Iterable[int], targets: Iterable[int]
     ) -> dict[tuple[int, int], float]:
@@ -519,6 +551,7 @@ class CHOracle(DistanceOracle):
         self._queries += len(result)
         return result
 
+    @_locked
     def shortest_path(self, source: int, target: int) -> list[int]:
         """Node sequence of a shortest path, by unpacking shortcuts.
 
@@ -564,11 +597,13 @@ class CHOracle(DistanceOracle):
     # ------------------------------------------------------------------
     # cache management and instrumentation
     # ------------------------------------------------------------------
+    @_locked
     def clear(self) -> None:
         self._pair_cache.clear()
         self._bucket_cache.clear()
         self._arrival_cache.clear()
 
+    @_locked
     def cache_info(self) -> CacheInfo:
         """Summary of the point-to-point result cache.
 
@@ -584,6 +619,7 @@ class CHOracle(DistanceOracle):
             currsize=len(self._pair_cache),
         )
 
+    @_locked
     def _extra_stats(self) -> dict[str, float]:
         return {
             "shortcuts_added": float(self._shortcuts_added),

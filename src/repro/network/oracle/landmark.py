@@ -400,21 +400,21 @@ class LandmarkOracle(DistanceOracle):
                 return value
             pi_t = 0.0  # lower bound on d(v, t)
             pi_s = 0.0  # lower bound on d(s, v)
-            for l in range(num):
-                d_from_v = dist_from[l][v]
-                d_to_v = dist_to[l][v]
+            for lm in range(num):
+                d_from_v = dist_from[lm][v]
+                d_to_v = dist_to[lm][v]
                 # d(v, t) >= d(v, l) - d(t, l) and >= d(l, t) - d(l, v)
-                bound = d_to_v - to_t[l]
+                bound = d_to_v - to_t[lm]
                 if bound > pi_t and bound != _INF:
                     pi_t = bound
-                bound = from_t[l] - d_from_v
+                bound = from_t[lm] - d_from_v
                 if bound > pi_t and bound != _INF:
                     pi_t = bound
                 # d(s, v) >= d(l, v) - d(l, s) and >= d(s, l) - d(v, l)
-                bound = d_from_v - from_s[l]
+                bound = d_from_v - from_s[lm]
                 if bound > pi_s and bound != _INF:
                     pi_s = bound
-                bound = to_s[l] - d_to_v
+                bound = to_s[lm] - d_to_v
                 if bound > pi_s and bound != _INF:
                     pi_s = bound
             value = 0.5 * (pi_t - pi_s)

@@ -5,6 +5,13 @@ from .spatial import WorkerSpatialIndex
 from .dispatcher import Dispatcher, ServedOrder, DispatchResult, served_orders_from_group
 from .metrics import MetricsCollector, SimulationMetrics
 from .engine import Simulator, SimulationResult
+from .parallel import (
+    DISPATCH_MODES,
+    ParallelDispatchEngine,
+    merge_shard_results,
+    partition_shards,
+    usable_cpu_count,
+)
 
 __all__ = [
     "WorkerFleet",
@@ -18,4 +25,9 @@ __all__ = [
     "SimulationMetrics",
     "Simulator",
     "SimulationResult",
+    "DISPATCH_MODES",
+    "ParallelDispatchEngine",
+    "merge_shard_results",
+    "partition_shards",
+    "usable_cpu_count",
 ]

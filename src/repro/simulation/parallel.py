@@ -1,0 +1,513 @@
+"""Sharded parallel execution of the dispatch hot path.
+
+The periodic check of Algorithm 1 is, on the oracle side, a pile of
+independent many-sources-to-one-target blocks: for every pooled order's
+candidate group, "how far is each idle worker from this group's first
+pickup?".  PR 2 and PR 3 made that shape a single batched
+``travel_times_many`` call per target; this module crosses the seam the
+ROADMAP pointed at and runs those blocks *across a worker pool*:
+
+* the check's probe targets are partitioned into deterministic,
+  contiguous shards (:func:`partition_shards`),
+* each shard answers **all** of its targets with one aggregated
+  ``travel_times_many`` call (the per-shard batching win),
+* shard results are merged by a deterministic reducer
+  (:func:`merge_shard_results`) that refuses overlapping keys, so the
+  merged map — and therefore every assignment winner and tie-break
+  downstream — is identical to what a serial run computes.
+
+One honest caveat: on the ``lazy``, ``matrix`` and ``landmark``
+backends a pair's travel time is the same float no matter how it is
+asked for, so equality is bitwise.  The ``ch`` backend assembles
+distances from shortcut parts and its own docstring warns the result
+can differ in the last ulp between its query paths — prefetching can
+steer a pair down a different path than the serial run's ring query
+would, so ``ch`` equivalence holds up to that documented last-ulp
+assembly slack (enough to flip only an exactly-tied winner; the
+property tests pin it down on fixed seeds).
+
+Two execution modes are offered:
+
+``thread`` (the default)
+    Shard tasks run on a ``ThreadPoolExecutor`` against the *shared*
+    network oracle.  Backends that declare
+    ``thread_safe_queries = True`` (the contraction-hierarchy backend)
+    are called without an engine-level lock — though note the CH
+    backend's own internal guard still serialises its critical
+    sections today, so "thread-safe" means *correct under concurrent
+    callers*, not *scales with threads*.  All other backends are
+    serialised behind the engine's lock.  Either way this mode cannot
+    beat serial on CPU-bound pure-Python backends (GIL or backend
+    lock), so dispatchers consult :attr:`prefetch_worthwhile` and skip
+    the check-time prefetch entirely — thread mode behaves as a
+    zero-overhead passthrough.  It exists for safety, for API parity,
+    and as the seam where finer-grained backend locking would start to
+    pay off on free-threaded builds (direct
+    :meth:`prefetch_many_to_one` calls still execute across the
+    executor).
+
+``process`` (opt-in)
+    Shard tasks run in forked worker processes, each holding its own
+    copy-on-write *oracle handle* over the same graph.  Results (and
+    each shard's oracle-counter deltas) are shipped back and merged
+    into an :class:`overlay <ParallelDispatchEngine>` the fleet's
+    worker searches read from, and the counter deltas are folded into
+    the run's ``oracle_stats``.  This is the mode that scales with
+    cores; it requires the ``fork`` start method (Linux) and falls back
+    to ``thread`` where fork is unavailable.
+
+In both modes the decision loop itself stays the *unchanged serial
+algorithm* — parallelism only precomputes travel times — which is how
+parallel runs stay bit-identical to serial ones.
+
+The prefetch deliberately trades total work for latency: it answers
+the full idle-sources x probe-targets product, where the serial ring
+search would prune candidates and stop early (the PR 2 spatial-index
+win).  That extra work runs *off* the decision thread in process mode
+— wall-clock drops when cores are available — but it is real work, so
+``dispatch_workers > 1`` on a single core (or in thread mode on a
+GIL-bound backend) costs more than it saves.  Sharding is a scale
+feature, not a free default; ``dispatch_workers=1`` remains the right
+setting on small machines.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Iterable, Mapping, Sequence, TYPE_CHECKING
+
+from ..exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.graph import RoadNetwork
+
+#: Execution modes understood by the engine (and ``SimulationConfig``).
+DISPATCH_MODES = ("thread", "process")
+
+#: Below this many targets a prefetch runs inline — the cheapest
+#: deterministic schedule when there is nothing to amortise a pool
+#: round-trip over.
+_MIN_TARGETS_TO_SHARD = 2
+
+#: LRU bound on the process-mode overlay, counted in *targets* (each
+#: entry holds up to one value per source plus a coverage set).  An
+#: evicted target simply falls back to a serial network query, so the
+#: bound trades recompute for memory, never correctness.
+DEFAULT_OVERLAY_TARGETS = 4096
+
+# ---------------------------------------------------------------------------
+# deterministic partition / reduce primitives
+# ---------------------------------------------------------------------------
+
+
+def partition_shards(items: Sequence, num_shards: int) -> list[list]:
+    """Split ``items`` into ``num_shards`` contiguous, near-even chunks.
+
+    The partition depends only on ``(items, num_shards)`` — never on
+    thread scheduling or machine load — so a given shard always sees
+    the same work.  Chunk sizes differ by at most one (earlier shards
+    get the remainder); with fewer items than shards the tail chunks
+    are empty.
+    """
+    if num_shards < 1:
+        raise ConfigurationError("num_shards must be at least 1")
+    items = list(items)
+    base, extra = divmod(len(items), num_shards)
+    chunks: list[list] = []
+    start = 0
+    for shard in range(num_shards):
+        size = base + (1 if shard < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+def merge_shard_results(
+    shard_maps: Iterable[Mapping[tuple[int, int], float]],
+) -> dict[tuple[int, int], float]:
+    """Deterministically merge per-shard ``(source, target) -> seconds`` maps.
+
+    Shards partition the *targets*, so their key sets must be disjoint;
+    an overlap means the partition was wrong (duplicated work at best,
+    a changed assignment winner at worst), so it raises — even when the
+    duplicate values happen to agree.  Merging in shard order keeps the
+    result independent of completion order.
+    """
+    merged: dict[tuple[int, int], float] = {}
+    for shard_map in shard_maps:
+        for key, value in shard_map.items():
+            if key in merged:
+                raise AssertionError(f"shard results overlap on {key}")
+            merged[key] = value
+    return merged
+
+
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# process-mode shard workers (fork-inherited state)
+# ---------------------------------------------------------------------------
+
+#: Network handle a forked shard worker answers queries with.  Each
+#: worker's initializer binds it (the ``fork`` start method hands the
+#: initargs over by memory inheritance, never by pickling), so even a
+#: worker the pool respawns mid-run — they re-fork from the parent —
+#: gets the binding before its first task.
+_SHARD_NETWORK: "RoadNetwork | None" = None
+
+
+def _init_shard_worker(network: "RoadNetwork") -> None:
+    """Pool-worker initializer: adopt the engine's network handle."""
+    global _SHARD_NETWORK
+    _SHARD_NETWORK = network
+
+
+def _shard_task(sources: list[int], targets: list[int]):
+    """One shard's work: a single aggregated ``travel_times_many`` call.
+
+    Runs inside a forked worker against its own oracle handle; returns
+    the answered pairs plus the oracle-counter delta this task caused,
+    so the parent can fold per-shard work into the run's stats.
+    """
+    network = _SHARD_NETWORK
+    assert network is not None, "shard worker forked without a network"
+    before = network.oracle_stats()
+    result = network.travel_times_many(sources, targets)
+    delta = (network.oracle_stats() - before).as_dict()
+    return result, delta
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+
+class ParallelDispatchEngine:
+    """Runs the dispatch hot path's oracle blocks across worker shards.
+
+    Parameters
+    ----------
+    network:
+        The road network whose oracle answers the queries (and, in
+        process mode, whose forked copies answer them in the children).
+    num_shards:
+        Number of shards the probe targets are partitioned into.  Also
+        the worker-pool width; deliberately *not* capped by the CPU
+        count so a run's partition — and therefore its determinism — is
+        machine-independent.
+    mode:
+        ``"thread"`` (default) or ``"process"`` (see module docstring).
+    """
+
+    def __init__(
+        self,
+        network: "RoadNetwork",
+        num_shards: int,
+        mode: str = "thread",
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigurationError("num_shards must be at least 1")
+        if mode not in DISPATCH_MODES:
+            raise ConfigurationError(
+                f"unknown dispatch mode {mode!r}; expected one of {DISPATCH_MODES}"
+            )
+        self._network = network
+        self.num_shards = num_shards
+        self.requested_mode = mode
+        #: What actually runs: ``process`` falls back to ``thread`` when
+        #: the platform cannot fork, and a single shard starts no pool
+        #: at all — reported as ``inline`` so stats never claim a pool
+        #: that does not exist.
+        self.effective_mode = mode if num_shards > 1 else "inline"
+        # ``multiprocessing.pool.Pool`` when process shards are live;
+        # typed loosely because multiprocessing is imported lazily.
+        self._pool: Any = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._closed = False
+        # Thread-mode shard tasks serialise behind this lock unless the
+        # backend declares its queries thread-safe.
+        self._oracle_lock = threading.Lock()
+        # Process-mode overlay: per target, which sources have been
+        # asked and what they answered (absence under coverage means
+        # unreachable).  The serial decision loop reads travel times
+        # from here instead of recomputing them.  LRU-bounded per
+        # target so a long replay cannot grow it without limit; an
+        # evicted target merely falls back to a serial network query.
+        self._overlay_bound = DEFAULT_OVERLAY_TARGETS
+        self._coverage: OrderedDict[int, set[int]] = OrderedDict()
+        self._values: dict[int, dict[int, float]] = {}
+        # Scheduling counters plus folded child oracle-counter deltas.
+        self._prefetch_calls = 0
+        self._prefetch_pairs = 0
+        self._shard_tasks = 0
+        self._overlay_hits = 0
+        self._overlay_misses = 0
+        self._shard_counters: dict[str, float] = {}
+        if num_shards > 1:
+            if mode == "process":
+                self._start_process_pool()
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=num_shards,
+                    thread_name_prefix="dispatch-shard",
+                )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _start_process_pool(self) -> None:
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            # No copy-on-write oracle handles without fork; degrade to
+            # the always-safe thread mode instead of failing the run.
+            self.effective_mode = "thread"
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.num_shards,
+                thread_name_prefix="dispatch-shard",
+            )
+            return
+        context = multiprocessing.get_context("fork")
+        self._pool = context.Pool(
+            processes=self.num_shards,
+            initializer=_init_shard_worker,
+            initargs=(self._network,),
+        )
+
+    def close(self) -> None:
+        """Shut the worker pool down; later calls run inline (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ParallelDispatchEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the sharded periodic-check primitive
+    # ------------------------------------------------------------------
+    @property
+    def prefetch_worthwhile(self) -> bool:
+        """Whether a check-time prefetch can beat just running serially.
+
+        Only a live process pool moves work off the decision thread.
+        In thread mode every backend available today serialises its
+        queries (the engine's lock for unguarded backends, the CH
+        oracle's own internal lock), so a prefetch would compute the
+        full sources x targets product on the decision thread's clock
+        while the serial ring search would have pruned most of it —
+        strictly worse.  Dispatchers consult this before prefetching;
+        revisit when a backend offers genuinely concurrent queries
+        (e.g. finer-grained CH locking on free-threaded builds).
+        """
+        return self._pool is not None and not self._closed
+
+    def prefetch_many_to_one(
+        self, sources: Iterable[int], targets: Iterable[int]
+    ) -> dict[tuple[int, int], float]:
+        """Answer every ``source -> target`` block, one shard per target chunk.
+
+        This is one periodic check's worth of oracle work: ``targets``
+        are the pooled orders' probe nodes, ``sources`` the idle worker
+        locations.  Targets are partitioned across shards and each
+        shard answers all of its targets with a single aggregated
+        ``travel_times_many`` call; the merged result is returned and
+        (in process mode) retained in the overlay the fleet's worker
+        searches read from.
+        """
+        source_list = sorted(dict.fromkeys(sources))
+        target_list = sorted(dict.fromkeys(targets))
+        self._prefetch_calls += 1
+        self._prefetch_pairs += len(source_list) * len(target_list)
+        if not source_list or not target_list:
+            return {}
+        if (
+            self._closed
+            or self.num_shards == 1
+            or len(target_list) < _MIN_TARGETS_TO_SHARD
+        ):
+            merged = self._network.travel_times_many(source_list, target_list)
+        else:
+            chunks = [
+                chunk
+                for chunk in partition_shards(target_list, self.num_shards)
+                if chunk
+            ]
+            if self._pool is not None:
+                shard_maps = self._run_process_shards(source_list, chunks)
+            else:
+                shard_maps = self._run_thread_shards(source_list, chunks)
+            merged = merge_shard_results(shard_maps)
+        if self._pool is not None:
+            self._retain(source_list, target_list, merged)
+        return merged
+
+    def _run_process_shards(
+        self, sources: list[int], chunks: list[list[int]]
+    ) -> list[dict[tuple[int, int], float]]:
+        assert self._pool is not None
+        futures = [
+            self._pool.apply_async(_shard_task, (sources, chunk))
+            for chunk in chunks
+        ]
+        self._shard_tasks += len(futures)
+        shard_maps: list[dict[tuple[int, int], float]] = []
+        for future in futures:
+            result, delta = future.get()
+            shard_maps.append(result)
+            self._fold_counters(delta)
+        return shard_maps
+
+    def _run_thread_shards(
+        self, sources: list[int], chunks: list[list[int]]
+    ) -> list[dict[tuple[int, int], float]]:
+        oracle = self._network.oracle
+        lock = (
+            None
+            if getattr(oracle, "thread_safe_queries", False)
+            else self._oracle_lock
+        )
+
+        def task(chunk: list[int]) -> dict[tuple[int, int], float]:
+            if lock is None:
+                return self._network.travel_times_many(sources, chunk)
+            with lock:
+                return self._network.travel_times_many(sources, chunk)
+
+        assert self._executor is not None
+        futures = [self._executor.submit(task, chunk) for chunk in chunks]
+        self._shard_tasks += len(futures)
+        # Collected in shard order, not completion order: determinism.
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # overlay-backed batched queries (the fleet's path)
+    # ------------------------------------------------------------------
+    def travel_times_many(
+        self, sources: Iterable[int], targets: Iterable[int]
+    ) -> dict[tuple[int, int], float]:
+        """Batched travel times, served from the overlay when covered.
+
+        Falls back to the network (the exact serial call, same shape)
+        whenever any requested pair has not been prefetched, so answers
+        are always complete and always the values a serial run uses.
+        """
+        source_list = list(dict.fromkeys(sources))
+        target_list = list(dict.fromkeys(targets))
+        if len(target_list) == 1 and self._values:
+            target = target_list[0]
+            covered = self._coverage.get(target)
+            if covered is not None and all(s in covered for s in source_list):
+                self._overlay_hits += 1
+                self._coverage.move_to_end(target)
+                values = self._values[target]
+                return {
+                    (source, target): values[source]
+                    for source in source_list
+                    if source in values
+                }
+        if self._pool is not None:
+            # Only process mode has an overlay to miss; counting the
+            # thread-mode delegations here would read as a broken
+            # overlay in oracle_stats when none exists.
+            self._overlay_misses += 1
+        result = self._network.travel_times_many(source_list, target_list)
+        if self._pool is not None:
+            self._retain(source_list, target_list, result)
+        return result
+
+    def _retain(
+        self,
+        sources: list[int],
+        targets: list[int],
+        result: Mapping[tuple[int, int], float],
+    ) -> None:
+        for target in targets:
+            covered = self._coverage.get(target)
+            if covered is None:
+                covered = self._coverage[target] = set()
+            else:
+                self._coverage.move_to_end(target)
+            covered.update(sources)
+            values = self._values.setdefault(target, {})
+            for source in sources:
+                value = result.get((source, target))
+                if value is not None:
+                    values[source] = value
+        while len(self._coverage) > self._overlay_bound:
+            evicted, _ = self._coverage.popitem(last=False)
+            self._values.pop(evicted, None)
+
+    def reset_overlay(self) -> None:
+        """Drop retained prefetch results (e.g. when the graph changes)."""
+        self._coverage.clear()
+        self._values.clear()
+
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+    #: Keys of an ``OracleStats.as_dict()`` delta that are monotone
+    #: counters and therefore meaningful to sum across shard tasks
+    #: (ratios, gauges and structural constants are not).
+    _FOLDABLE_COUNTERS = frozenset(
+        {
+            "queries",
+            "batched_queries",
+            "cache_hits",
+            "cache_misses",
+            "sssp_runs",
+            "reverse_sssp_runs",
+            "pp_searches",
+            "evictions",
+            "matrix_refreshes",
+            "upward_settles",
+            "bucket_scans",
+        }
+    )
+
+    def _fold_counters(self, delta: Mapping[str, float | str]) -> None:
+        for key, value in delta.items():
+            if key not in self._FOLDABLE_COUNTERS:
+                continue
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self._shard_counters[key] = self._shard_counters.get(key, 0.0) + value
+
+    def stats(self) -> dict[str, float | int | str]:
+        """Scheduling counters plus folded per-shard oracle counters.
+
+        The ``shard_*`` entries are the *children's* oracle work in
+        process mode (the parent oracle never saw those queries); the
+        simulator folds them into the run's ``oracle_stats`` so the
+        reported counters cover all shards.
+        """
+        stats: dict[str, float | int | str] = {
+            "dispatch_workers": self.num_shards,
+            "dispatch_mode": self.effective_mode,
+            "prefetch_calls": self._prefetch_calls,
+            "prefetch_pairs": self._prefetch_pairs,
+            "shard_tasks": self._shard_tasks,
+            "overlay_hits": self._overlay_hits,
+            "overlay_misses": self._overlay_misses,
+        }
+        for key, value in sorted(self._shard_counters.items()):
+            stats[f"shard_{key}"] = value
+        return stats

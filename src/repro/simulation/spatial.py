@@ -25,6 +25,7 @@ search visits every ring, which is exactly the previous full scan.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from typing import Iterator, TYPE_CHECKING
 
@@ -57,6 +58,13 @@ class WorkerSpatialIndex:
             ((max_y - min_y) or 1.0) / grid.size,
         )
         self._max_speed = self._fastest_edge_speed(network)
+        # The grid geometry, cell extents and edge-speed bound above are
+        # all pre-materialised here — queries never lazily build state —
+        # so concurrent readers only share immutable data plus the two
+        # benchmark counters below, which this lock guards.  Maintenance
+        # (insert / move / remove) is *not* concurrency-safe and must
+        # stay on the owning thread, which is how the fleet drives it.
+        self._counter_lock = threading.Lock()
         #: Number of ring-expanding searches served (for benchmarks).
         self.searches = 0
         #: Workers yielded to callers across all searches; compare with
@@ -130,8 +138,13 @@ class WorkerSpatialIndex:
         so far can stop as soon as the bound of the next non-empty ring
         can no longer beat it.  Every indexed worker is yielded exactly
         once; empty rings are skipped.
+
+        Safe for concurrent read-only use: the geometry is immutable,
+        each search works off a snapshot of the bucket contents, and
+        the benchmark counters are updated under a lock.
         """
-        self.searches += 1
+        with self._counter_lock:
+            self.searches += 1
         grid = self._grid
         center = grid.cell_of(node)
         row, col = grid.cell_coordinates(center)
@@ -150,7 +163,8 @@ class WorkerSpatialIndex:
                 continue
             ids.sort()  # deterministic order within a ring
             remaining -= len(ids)
-            self.candidates_yielded += len(ids)
+            with self._counter_lock:
+                self.candidates_yielded += len(ids)
             yield self.ring_lower_bound(radius), ids
 
     def ring_lower_bound(self, radius: int) -> float:

@@ -1,0 +1,181 @@
+"""Concurrent-read safety of the structures the shard threads share.
+
+The parallel dispatch engine's thread mode queries one shared oracle
+from several threads at once.  The contraction-hierarchy backend
+memoises reverse-PHAST arrival maps, target buckets and point-to-point
+results on query — ``OrderedDict`` state that used to corrupt under
+concurrent mutation — and the worker spatial index bumps its benchmark
+counters inside the ring generator.  These tests hammer both from many
+threads and require (a) no exception or torn state and (b) answers
+identical to a single-threaded reference.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.network.generators import grid_city
+from repro.network.grid import GridIndex
+from repro.network.oracle import CHOracle, LazyDijkstraOracle
+from repro.simulation.spatial import WorkerSpatialIndex
+
+_NUM_THREADS = 8
+_ROUNDS_PER_THREAD = 6
+
+
+@pytest.fixture(scope="module")
+def city():
+    return grid_city(rows=8, cols=8, seed=5, jitter=0.25)
+
+
+@pytest.fixture(scope="module")
+def ch_oracle(city):
+    return CHOracle(city.graph)
+
+
+def test_ch_oracle_declares_thread_safety(ch_oracle):
+    assert ch_oracle.thread_safe_queries is True
+    # The guard is the backend's own; the default contract stays
+    # conservative for backends that memoise without one.
+    assert LazyDijkstraOracle.thread_safe_queries is False
+
+
+def _maps_close(got, want, rel=1e-9):
+    """Same keys, values equal within CH's documented ulp assembly slack.
+
+    A pair answered through the point-to-point search and the same pair
+    answered through a bucket scan / arrival sweep associate their
+    shortcut-weight additions differently, so which value a cache holds
+    depends on query *history* — that is true single-threaded too and
+    is not a concurrency defect.  Keys (reachability) must be exact.
+    """
+    if set(got) != set(want):
+        return False
+    return all(math.isclose(got[k], want[k], rel_tol=rel) for k in want)
+
+
+def test_ch_oracle_concurrent_queries_match_serial(city, ch_oracle):
+    """Hammer every query shape from threads; answers must match serial."""
+    nodes = city.nodes_sorted()
+    rng = random.Random(31)
+    pairs = [tuple(rng.sample(nodes, 2)) for _ in range(60)]
+    targets = [rng.choice(nodes) for _ in range(12)]
+    sources = [rng.choice(nodes) for _ in range(16)]
+
+    reference_oracle = CHOracle(city.graph)
+    reference_pairs = {
+        pair: reference_oracle.travel_time(*pair) for pair in pairs
+    }
+    reference_arrivals = {
+        target: dict(reference_oracle.travel_times_to(target))
+        for target in targets
+    }
+    reference_many = reference_oracle.travel_times_many(sources, targets)
+
+    errors: list[BaseException] = []
+
+    def hammer(worker_id: int) -> None:
+        # Each thread interleaves the three query shapes in its own
+        # order so cache hits, misses and evictions race for real.
+        local = random.Random(worker_id)
+        try:
+            for _ in range(_ROUNDS_PER_THREAD):
+                for pair in local.sample(pairs, 20):
+                    assert math.isclose(
+                        ch_oracle.travel_time(*pair),
+                        reference_pairs[pair],
+                        rel_tol=1e-9,
+                    )
+                target = local.choice(targets)
+                # Reverse-PHAST arrival maps are computed one way only,
+                # so these must be exact, not merely close.
+                assert dict(ch_oracle.travel_times_to(target)) == (
+                    reference_arrivals[target]
+                )
+                assert _maps_close(
+                    ch_oracle.travel_times_many(sources, targets),
+                    reference_many,
+                )
+        except BaseException as exc:  # noqa: BLE001 - collected for the report
+            errors.append(exc)
+
+    with ThreadPoolExecutor(max_workers=_NUM_THREADS) as executor:
+        list(executor.map(hammer, range(_NUM_THREADS)))
+    assert not errors, errors
+    # The caches came through the stampede structurally intact: every
+    # entry still answers, and the LRU bounds still hold.
+    info = ch_oracle.cache_info()
+    assert info.maxsize is None or info.currsize <= info.maxsize
+    for pair, expected in reference_pairs.items():
+        assert math.isclose(
+            ch_oracle.travel_time(*pair), expected, rel_tol=1e-9
+        )
+
+
+def test_ch_oracle_concurrent_shortest_paths(city, ch_oracle):
+    """Path unpacking (parent-tracked reruns) is also safe to share."""
+    nodes = city.nodes_sorted()
+    rng = random.Random(47)
+    pairs = [tuple(rng.sample(nodes, 2)) for _ in range(20)]
+    reference = {pair: ch_oracle.shortest_path(*pair) for pair in pairs}
+
+    def hammer(worker_id: int) -> list[tuple]:
+        local = random.Random(100 + worker_id)
+        mismatches = []
+        for _ in range(_ROUNDS_PER_THREAD):
+            for pair in local.sample(pairs, len(pairs)):
+                if ch_oracle.shortest_path(*pair) != reference[pair]:
+                    mismatches.append(pair)
+        return mismatches
+
+    with ThreadPoolExecutor(max_workers=_NUM_THREADS) as executor:
+        results = list(executor.map(hammer, range(_NUM_THREADS)))
+    assert all(not mismatches for mismatches in results), results
+
+
+def test_spatial_index_concurrent_rings_match_serial(city):
+    """Concurrent ring searches see identical rings and exact counters."""
+    grid = GridIndex(city, size=4)
+    index = WorkerSpatialIndex(city, grid)
+    nodes = city.nodes_sorted()
+    rng = random.Random(13)
+    for worker_id in range(40):
+        index.insert(worker_id, rng.choice(nodes))
+    query_nodes = [rng.choice(nodes) for _ in range(10)]
+    reference = {node: list(index.rings(node)) for node in query_nodes}
+    searches_before = index.searches
+    yielded_before = index.candidates_yielded
+
+    barrier = threading.Barrier(_NUM_THREADS)
+
+    def hammer(worker_id: int) -> tuple[bool, list[int]]:
+        local = random.Random(worker_id)
+        barrier.wait()  # maximise overlap between the generators
+        ok = True
+        queried: list[int] = []
+        for _ in range(_ROUNDS_PER_THREAD):
+            node = local.choice(query_nodes)
+            queried.append(node)
+            ok = ok and list(index.rings(node)) == reference[node]
+        return ok, queried
+
+    with ThreadPoolExecutor(max_workers=_NUM_THREADS) as executor:
+        results = list(executor.map(hammer, range(_NUM_THREADS)))
+    assert all(ok for ok, _ in results)
+    # Counter updates are locked, so none of the concurrent increments
+    # were lost (exact equality, not just monotonicity).
+    total_searches = _NUM_THREADS * _ROUNDS_PER_THREAD
+    assert index.searches == searches_before + total_searches
+    per_query_yield = {
+        node: sum(len(ids) for _, ids in reference[node])
+        for node in query_nodes
+    }
+    expected_yield = sum(
+        per_query_yield[node] for _, queried in results for node in queried
+    )
+    assert index.candidates_yielded == yielded_before + expected_yield

@@ -17,7 +17,6 @@ from repro.datasets.workloads import (
     DATASET_NAMES,
     build_workload,
     city_by_name,
-    nyc_like_city,
 )
 from repro.exceptions import DatasetError
 from repro.network.generators import grid_city
