@@ -70,6 +70,9 @@ def collect_ratios(trajectory: dict) -> dict[str, float]:
     spatial = trajectory.get("spatial_index", {})
     if "speedup" in spatial:
         ratios["spatial_index.speedup"] = spatial["speedup"]
+    ch_cache = trajectory.get("ch_cache", {})
+    if "speedup" in ch_cache:
+        ratios["ch_cache.warm_construction_speedup"] = ch_cache["speedup"]
     return ratios
 
 

@@ -24,12 +24,15 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.benchmarking import (
+    CH_CACHE_ACCEPTANCE_SPEEDUP,
     CH_COLD_P2P_ACCEPTANCE_SPEEDUP,
     MANY_TO_ONE_ACCEPTANCE_SPEEDUP,
     PARALLEL_ACCEPTANCE_MIN_CPUS,
     PARALLEL_ACCEPTANCE_SHARDS,
     PARALLEL_ACCEPTANCE_SPEEDUP,
     SPATIAL_ACCEPTANCE_SPEEDUP,
+    bench_scenario_identity,
+    benchmark_ch_preprocessing_cache,
     benchmark_dispatch_queries,
     benchmark_oracles,
     benchmark_parallel_dispatch,
@@ -102,7 +105,19 @@ def parallel_bench():
 
 
 @pytest.fixture(scope="module")
-def dispatch_bench(parallel_bench):
+def ch_cache_bench():
+    """Cold-vs-warm CH construction on the 1024-node benchmark city.
+
+    The cold build contracts the graph and writes the preprocessing
+    cache; the warm build restores from that file (what a fresh process
+    with a warm ``oracle_cache_dir`` does).  Answers are cross-checked
+    inside the benchmark.
+    """
+    return benchmark_ch_preprocessing_cache(grid_dim=32)
+
+
+@pytest.fixture(scope="module")
+def dispatch_bench(parallel_bench, ch_cache_bench):
     """One shared dispatch benchmark run over every registered backend.
 
     The query mix is the dispatch hot path: >=32 idle worker locations
@@ -124,7 +139,26 @@ def dispatch_bench(parallel_bench):
     print(format_dispatch_bench_table(results, spatial))
     print(format_parallel_bench_lines(parallel_bench))
     trajectory = Path(__file__).parent.parent / "BENCH_dispatch.fresh.json"
-    write_dispatch_trajectory(trajectory, results, spatial, parallel_bench)
+    # The scenario block makes the artifact self-describing: which
+    # graph, seed and backend set produced these numbers (same schema
+    # as the CLI's `bench --dispatch --json` writer).
+    scenario = bench_scenario_identity(
+        graph,
+        [result.backend for result in results],
+        scenario="dispatch-bench",
+        network="grid",
+        grid_rows=32,
+        grid_cols=32,
+        seed=3,
+    )
+    write_dispatch_trajectory(
+        trajectory,
+        results,
+        spatial,
+        parallel_bench,
+        ch_cache=ch_cache_bench,
+        scenario=scenario,
+    )
     return {result.backend: result for result in results}
 
 
@@ -261,6 +295,41 @@ def test_parallel_periodic_check_speedup(parallel_bench):
         f"({process.speedup:.2f}x, needed >= "
         f"{PARALLEL_ACCEPTANCE_SPEEDUP}x on {cpus} CPUs)"
     )
+
+
+def test_ch_preprocessing_cache_warm_speedup(ch_cache_bench, dispatch_bench):
+    """A warm oracle cache must stand the CH backend up >=5x faster.
+
+    The warm build replays the persisted node order and shortcuts
+    (linear in the augmented graph) instead of re-running the
+    contraction pass with its witness searches — this is the measured
+    close-out of the ROADMAP "persist the contraction order" item.  The
+    ratio and the acceptance bar land in ``BENCH_dispatch.fresh.json``
+    next to the other dispatch numbers.
+    """
+    assert ch_cache_bench.num_nodes >= 1024
+    assert ch_cache_bench.loaded_from_cache, (
+        "warm construction did not come from the disk cache"
+    )
+    assert (
+        ch_cache_bench.warm_seconds * CH_CACHE_ACCEPTANCE_SPEEDUP
+        <= ch_cache_bench.cold_seconds
+    ), (
+        f"warm CH construction took {ch_cache_bench.warm_seconds:.4f}s, "
+        f"needed <= 1/{CH_CACHE_ACCEPTANCE_SPEEDUP:.0f} of the cold "
+        f"contraction's {ch_cache_bench.cold_seconds:.4f}s"
+    )
+    trajectory = json.loads(
+        (Path(__file__).parent.parent / "BENCH_dispatch.fresh.json").read_text()
+    )
+    recorded = trajectory["ch_cache"]
+    assert recorded["speedup"] == pytest.approx(ch_cache_bench.speedup)
+    block = trajectory["acceptance"]["ch_warm_construction_speedup"]
+    assert block["threshold"] == CH_CACHE_ACCEPTANCE_SPEEDUP
+    assert block["met"] and block["applicable"]
+    # the artifact names the scenario that produced it
+    assert trajectory["scenario"]["graph_hash"]
+    assert trajectory["scenario"]["backends"]
 
 
 def test_spatial_index_speeds_up_find_worker_for():

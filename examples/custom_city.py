@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Bring your own city: run WATTER on a custom road network and demand model.
+"""Bring your own demand model — and replay it from CSV.
 
 The library is not tied to the three bundled dataset presets.  This
-example builds a ring-and-spoke city, defines its own demand hotspots
-and peak period, generates a workload, runs the pooling framework and
-exports the orders to CSV so the exact same workload can be reloaded or
-inspected elsewhere.
+example describes a grid city with a ``ScenarioSpec``, layers a custom
+demand model (its own hotspots and rush-hour peak) over the *same*
+network via the ``workload=`` escape hatch, exports the generated
+orders and workers to CSV, and then replays that log through a
+``workload="csv"`` spec — the end-to-end path a real order log takes.
+Because the session reuses the network for every run, the replayed
+scenario reproduces the original metrics exactly.
 
 Run with:
 
@@ -20,50 +23,89 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import default_config, format_comparison_table
-from repro.datasets.io import orders_from_csv, orders_to_csv
-from repro.datasets.synthetic import CityModel, DemandHotspot, PeakPeriod
-from repro.experiments.runner import run_on_workload
-from repro.network.generators import radial_city
+from repro.api import (
+    CityModel,
+    DemandHotspot,
+    PeakPeriod,
+    ScenarioSpec,
+    Session,
+    format_comparison_table,
+    orders_to_csv,
+    workers_to_csv,
+)
 
 
 def main() -> None:
-    network = radial_city(rings=6, spokes=10, seed=4)
+    # The road network is fully described by the spec (a 12x12 lattice
+    # seeded by the scenario seed), so CSV replays can rebuild it.
+    spec = ScenarioSpec(
+        name="RINGVILLE",
+        network="grid",
+        grid_rows=12,
+        grid_cols=12,
+        grid_edge_travel_time=65.0,
+        grid_jitter=0.2,
+        num_orders=100,
+        num_workers=18,
+        horizon=1800.0,
+        seed=17,
+    )
+    session = Session()
+    network = session.network(spec)
+
+    # A custom demand model over that network: a dominant centre, an
+    # eastern hub, and a mid-run demand peak.
     city = CityModel(
         name="RINGVILLE",
         network=network,
         pickup_hotspots=[
-            DemandHotspot(x=0.0, y=0.0, spread=1.5, weight=2.0),   # the centre
-            DemandHotspot(x=4.0, y=0.0, spread=1.0, weight=1.0),   # an eastern hub
+            DemandHotspot(x=5.5, y=5.5, spread=2.0, weight=2.0),
+            DemandHotspot(x=9.0, y=5.5, spread=1.5, weight=1.0),
         ],
         dropoff_hotspots=[
-            DemandHotspot(x=0.0, y=0.0, spread=2.0, weight=1.0),
-            DemandHotspot(x=-4.0, y=-2.0, spread=1.5, weight=1.0),
+            DemandHotspot(x=5.5, y=5.5, spread=2.5, weight=1.0),
+            DemandHotspot(x=2.0, y=2.0, spread=2.0, weight=1.0),
         ],
         uniform_fraction=0.25,
         peak_periods=[PeakPeriod(start=600.0, end=1500.0, intensity=2.0)],
-        min_trip_time=120.0,
+        min_trip_time=130.0,
     )
-    config = default_config(
-        "CDC", num_orders=100, num_workers=18, horizon=1800.0, seed=17
-    )
-    print("Generating demand for the custom ring-and-spoke city...")
-    workload = city.generate(config)
+    print("Generating demand for the custom grid city...")
+    workload = city.generate(spec.config())
     print(f"  {len(workload.orders)} orders, {len(workload.workers)} workers")
 
-    results = [
-        run_on_workload(name, workload, config).metrics
-        for name in ("WATTER-online", "WATTER-timeout", "GAS", "NonSharing")
-    ]
+    algorithms = ("WATTER-online", "WATTER-timeout", "GAS", "NonSharing")
+    results = session.compare(spec, algorithms=algorithms, workload=workload)
     print()
-    print(format_comparison_table(results, title="Custom city (RINGVILLE)"))
+    print(
+        format_comparison_table(
+            [run.metrics for run in results], title="Custom city (RINGVILLE)"
+        )
+    )
 
     with tempfile.TemporaryDirectory() as tmp:
-        path = Path(tmp) / "ringville_orders.csv"
-        orders_to_csv(workload.orders, path)
-        reloaded = orders_from_csv(path)
+        orders_path = Path(tmp) / "ringville_orders.csv"
+        workers_path = Path(tmp) / "ringville_workers.csv"
+        orders_to_csv(workload.orders, orders_path)
+        workers_to_csv(workload.workers, workers_path)
+
+        replay_spec = spec.with_overrides(
+            workload="csv",
+            orders_csv=str(orders_path),
+            workers_csv=str(workers_path),
+        )
+        replayed = session.run(
+            replay_spec.with_overrides(algorithm="WATTER-timeout")
+        )
+        original = next(r for r in results if r.algorithm == "WATTER-timeout")
         print()
-        print(f"Exported and re-imported {len(reloaded)} orders via {path.name}.")
+        print(
+            f"Replayed {replayed.metrics.total_orders} orders from CSV: "
+            f"service rate {replayed.metrics.service_rate:.3f} "
+            f"(original {original.metrics.service_rate:.3f}), "
+            f"unified cost {replayed.metrics.unified_cost:.0f} "
+            f"(original {original.metrics.unified_cost:.0f})"
+        )
 
 
 if __name__ == "__main__":

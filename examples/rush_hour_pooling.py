@@ -3,10 +3,12 @@
 
 The motivation of the paper is that during busy periods an order that
 waits a few extra seconds is very likely to find a well-matching partner.
-This example builds an NYC-like workload with a pronounced demand peak,
-runs WATTER-online (answer immediately) and WATTER-expect (wait when the
-expected threshold says so), and reports how much sharing each achieves
-inside versus outside the peak.
+This example describes an NYC-like scenario with a pronounced demand
+peak, runs WATTER-online (answer immediately) and WATTER-expect (wait
+when the expected threshold says so) through one ``Session`` — sharing
+the workload, the warmed oracle and the bootstrapped threshold provider
+— and reports how much sharing each achieves inside versus outside the
+peak, straight from the per-order outcomes on the ``RunResult``.
 
 Run with:
 
@@ -20,16 +22,14 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import build_expect_provider, default_config
-from repro.datasets.workloads import build_workload
-from repro.experiments.runner import run_on_workload
+from repro.api import ScenarioSpec, Session
 
 PEAK_WINDOW = (1800.0, 5400.0)  # the NYC-like preset surges in this interval
 
 
 def share_of_grouped_orders(result, window=None):
     """Fraction of served orders that rode in a group of two or more."""
-    served = [outcome for outcome in result.collector.outcomes if outcome.served]
+    served = [outcome for outcome in result.outcomes if outcome.served]
     if window is not None:
         lo, hi = window
         served = [
@@ -44,16 +44,20 @@ def share_of_grouped_orders(result, window=None):
 
 
 def main() -> None:
-    config = default_config(
-        "NYC", num_orders=150, num_workers=30, horizon=7200.0, seed=9
+    spec = ScenarioSpec(
+        name="rush-hour",
+        dataset="NYC",
+        num_orders=150,
+        num_workers=30,
+        horizon=7200.0,
+        seed=9,
     )
     print("Generating the NYC-like workload (morning peak at 0:30-1:30)...")
-    workload = build_workload("NYC", config)
-    provider = build_expect_provider("NYC", config)
-
     print("Running WATTER-online and WATTER-expect over the same orders...")
-    online = run_on_workload("WATTER-online", workload, config)
-    expect = run_on_workload("WATTER-expect", workload, config, provider)
+    session = Session()
+    online, expect = session.compare(
+        spec, algorithms=("WATTER-online", "WATTER-expect")
+    )
 
     print()
     print(f"{'metric':<38}{'WATTER-online':>16}{'WATTER-expect':>16}")

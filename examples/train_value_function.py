@@ -1,16 +1,19 @@
 #!/usr/bin/env python3
 """Train the MDP value function offline and use it online (Section VI).
 
-The script walks through the whole WATTER-expect pipeline:
+The script walks through the whole WATTER-expect pipeline on top of the
+``repro.api`` facade:
 
-1. generate a historical (training) workload,
+1. describe the evaluation scenario (and its shifted-seed training
+   sibling) as ``ScenarioSpec`` values,
 2. bootstrap an extra-time distribution by simulating the pooling
-   framework and fit the GMM of Section V,
+   framework on the training workload and fit the GMM of Section V,
 3. optimise the per-order thresholds (Algorithm 3),
 4. replay the training workload to record MDP transitions and train the
    value network with the combined TD + target loss (Section VI-B),
-5. evaluate three threshold providers on a *fresh* evaluation workload:
-   the distribution-fitted optimiser, the learned value function, and a
+5. evaluate three threshold providers on the *fresh* evaluation
+   workload via ``Session.run(spec, provider=...)``: the
+   distribution-fitted optimiser, the learned value function, and a
    naive constant threshold.
 
 Run with:
@@ -25,30 +28,43 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import LearningConfig, default_config
-from repro.core.state import StateEncoder
-from repro.core.strategies import ConstantThresholdProvider
-from repro.core.threshold import ThresholdOptimizer, fit_extra_time_distribution
-from repro.datasets.workloads import build_workload
-from repro.experiments.runner import run_on_workload
-from repro.learning.trainer import ValueFunctionTrainer, generate_experience
-from repro.network.grid import GridIndex
+from repro.api import (
+    ConstantThresholdProvider,
+    GridIndex,
+    LearningConfig,
+    ScenarioSpec,
+    Session,
+    StateEncoder,
+    ThresholdOptimizer,
+    ValueFunctionTrainer,
+    fit_extra_time_distribution,
+    generate_experience,
+)
 
 
 def main() -> None:
-    config = default_config(
-        "CDC", num_orders=100, num_workers=20, horizon=1800.0, seed=3
+    spec = ScenarioSpec(
+        name="value-function",
+        dataset="CDC",
+        num_orders=100,
+        num_workers=20,
+        horizon=1800.0,
+        seed=3,
+        algorithm="WATTER-expect",
     )
-    training_config = config.with_overrides(seed=1003)
+    training_spec = spec.with_overrides(seed=1003, algorithm="WATTER-timeout")
+    config = spec.config()
+    training_config = training_spec.config()
+    session = Session()
 
     print("1/5  generating the training workload...")
-    training = build_workload("CDC", training_config)
+    training = session.workload(training_spec)
 
     print("2/5  bootstrapping the extra-time distribution (GMM of Section V)...")
-    bootstrap = run_on_workload("WATTER-timeout", training, training_config)
+    bootstrap = session.run(training_spec)
     extra_times = [
         outcome.extra_time
-        for outcome in bootstrap.collector.outcomes
+        for outcome in bootstrap.outcomes
         if outcome.served and outcome.extra_time > 0
     ]
     mixture = fit_extra_time_distribution(extra_times, seed=3)
@@ -79,7 +95,6 @@ def main() -> None:
     print(f"     mean loss {report.mean_loss:.1f}, final loss {report.final_loss:.1f}")
 
     print("5/5  evaluating the providers on a fresh workload...")
-    evaluation = build_workload("CDC", config)
     providers = {
         "GMM thresholds (Section V)": optimizer,
         "learned value function (Section VI)": trainer.build_provider(),
@@ -89,7 +104,7 @@ def main() -> None:
     print(f"{'provider':<38}{'extra time':>12}{'unified cost':>14}{'service':>9}")
     print("-" * 73)
     for label, provider in providers.items():
-        result = run_on_workload("WATTER-expect", evaluation, config, provider)
+        result = session.run(spec, provider=provider)
         metrics = result.metrics
         print(
             f"{label:<38}{metrics.total_extra_time:>12.0f}"

@@ -75,6 +75,15 @@ from .experiments import (
     format_sweep_table,
     format_comparison_table,
 )
+from .api import (
+    RunResult,
+    ScenarioSpec,
+    Session,
+    SimulationHooks,
+    load_spec,
+    run_scenario,
+    save_spec,
+)
 
 __version__ = "1.0.0"
 
@@ -146,5 +155,12 @@ __all__ = [
     "run_worked_example",
     "format_sweep_table",
     "format_comparison_table",
+    "ScenarioSpec",
+    "Session",
+    "RunResult",
+    "SimulationHooks",
+    "run_scenario",
+    "load_spec",
+    "save_spec",
     "__version__",
 ]

@@ -1,0 +1,139 @@
+"""Module-level facade functions: one-call execution over specs.
+
+These are the verbs of the public API — ``run_scenario`` for a single
+run, ``compare`` for several algorithms over one workload, ``sweep``
+for one parameter across several values — plus the spec-file helpers
+(``load_spec`` / ``save_spec``) that let scenarios live in JSON (or,
+with PyYAML installed, YAML) files.
+
+All of them are thin layers over :class:`~repro.api.session.Session`;
+pass your own ``session=`` to amortise network/oracle preparation
+across calls, otherwise each call uses a fresh one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from ..exceptions import ConfigurationError
+from ..experiments.runner import ALGORITHMS
+from ..simulation.hooks import SimulationHooks
+from .session import RunResult, Session
+from .spec import ScenarioSpec
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    hooks: SimulationHooks | None = None,
+    session: Session | None = None,
+) -> RunResult:
+    """Execute one scenario (``spec.algorithm``) and return its result."""
+    return (session or Session()).run(spec, hooks=hooks)
+
+
+def compare(
+    spec: ScenarioSpec,
+    algorithms: Sequence[str] = ALGORITHMS,
+    *,
+    use_rl: bool | None = None,
+    hooks: SimulationHooks | None = None,
+    session: Session | None = None,
+) -> list[RunResult]:
+    """Run several algorithms over the scenario's one shared workload.
+
+    ``use_rl=None`` (default) keeps the spec's own setting; pass a
+    boolean to override it for this comparison only.
+    """
+    return (session or Session()).compare(
+        spec, algorithms=algorithms, use_rl=use_rl, hooks=hooks
+    )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One parameter value of a sweep and the runs measured there."""
+
+    parameter: str
+    value: Any
+    results: tuple[RunResult, ...]
+
+
+def sweep(
+    spec: ScenarioSpec,
+    parameter: str,
+    values: Sequence[Any],
+    *,
+    algorithms: Sequence[str] | None = None,
+    use_rl: bool | None = None,
+    session: Session | None = None,
+    spec_for_value: Callable[[ScenarioSpec, Any], ScenarioSpec] | None = None,
+) -> list[SweepPoint]:
+    """Vary one spec field across ``values``, comparing at every point.
+
+    By default each point runs ``spec.with_overrides(parameter=value)``;
+    pass ``spec_for_value`` when a point needs a richer transformation
+    (e.g. the capacity sweep also raises ``max_group_size``).  One
+    session is shared across the whole sweep, so the road network and
+    any heavyweight oracle preprocessing are built once.  ``use_rl``
+    follows each point's spec unless overridden with a boolean.
+    """
+    session = session or Session()
+    algorithms = tuple(algorithms) if algorithms else (spec.algorithm,)
+    points: list[SweepPoint] = []
+    for value in values:
+        if spec_for_value is not None:
+            point_spec = spec_for_value(spec, value)
+        else:
+            point_spec = spec.with_overrides(**{parameter: value})
+        results = session.compare(point_spec, algorithms=algorithms, use_rl=use_rl)
+        points.append(
+            SweepPoint(parameter=parameter, value=value, results=tuple(results))
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# spec files
+# ----------------------------------------------------------------------
+def load_spec(path: str | Path) -> ScenarioSpec:
+    """Read a scenario file (JSON; YAML when PyYAML is installed).
+
+    The document must be a flat mapping of :class:`ScenarioSpec`
+    fields; unknown keys and invalid values fail with the spec's
+    precise errors, naming the file.
+    """
+    file_path = Path(path)
+    try:
+        text = file_path.read_text()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read scenario file {path}: {exc}")
+    if file_path.suffix.lower() in (".yaml", ".yml"):
+        try:
+            import yaml  # type: ignore[import-not-found]
+        except ImportError:
+            raise ConfigurationError(
+                f"{path} is a YAML scenario file but PyYAML is not "
+                f"installed; rewrite the spec as JSON or install pyyaml"
+            )
+        data = yaml.safe_load(text)
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"scenario file {path} is not valid JSON: {exc}")
+    try:
+        return ScenarioSpec.from_dict(data)
+    except ConfigurationError as exc:
+        raise ConfigurationError(f"scenario file {path}: {exc}") from exc
+
+
+def save_spec(spec: ScenarioSpec, path: str | Path) -> Path:
+    """Write a scenario to a JSON spec file (round-trips via load_spec)."""
+    file_path = Path(path)
+    file_path.parent.mkdir(parents=True, exist_ok=True)
+    file_path.write_text(json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n")
+    return file_path

@@ -1,0 +1,496 @@
+"""Reusable execution context: prepare once, run many scenarios.
+
+A :class:`Session` owns everything that is expensive to stand up and
+cheap to reuse:
+
+* **networks** — dataset-preset cities and generated grids are built
+  once per distinct source signature and shared by every scenario that
+  names the same source;
+* **oracles** — the configured distance-oracle backend is attached to
+  the shared network with ``reuse=True``, so two scenarios on the same
+  network construct the CH hierarchy (or the dense matrix) exactly
+  once.  With an ``oracle_cache_dir`` the CH contraction products are
+  additionally persisted to disk keyed by a stable graph hash, so even
+  a *fresh process* skips preprocessing;
+* **workloads** — generation is deterministic per configuration, so
+  identical scenario shapes replay the same memoised workload (LRU
+  bounded);
+* **threshold providers** — the WATTER-expect bootstrap (training
+  workload, GMM fit, optional value-network training) is memoised per
+  scenario signature.
+
+``Session.run`` returns a structured :class:`RunResult` — metrics,
+per-order outcomes, oracle statistics, wall-clock timings and the spec
+echo — and accepts a :class:`~repro.simulation.hooks.SimulationHooks`
+observer for streaming state out of the engine.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..config import SimulationConfig
+from ..core.strategies import ThresholdProvider
+from ..datasets.io import orders_from_csv, workers_from_csv
+from ..datasets.synthetic import CityModel, DemandHotspot, Workload
+from ..datasets.workloads import city_by_name
+from ..exceptions import ConfigurationError
+from ..experiments.runner import (
+    ALGORITHMS,
+    _build_expect_provider,
+    make_dispatcher,
+)
+from ..model.order import OrderOutcome
+from ..model.worker import Worker
+from ..network.generators import grid_city
+from ..network.graph import RoadNetwork
+from ..network.oracle import configure_oracle, graph_signature
+from ..simulation.engine import Simulator
+from ..simulation.hooks import SimulationHooks
+from ..simulation.metrics import SimulationMetrics
+from .spec import ScenarioSpec
+
+#: Workloads kept alive by one session (LRU): a sweep touches a handful
+#: of shapes, and regeneration is deterministic anyway.
+_WORKLOAD_CACHE_SIZE = 8
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything one facade run produced.
+
+    Attributes
+    ----------
+    spec:
+        The *effective* spec that ran (session defaults applied,
+        algorithm canonicalised) — the self-describing echo to attach
+        to artifacts.
+    algorithm:
+        Canonical algorithm name.
+    metrics:
+        The paper's aggregate metrics (includes ``oracle_stats``).
+    outcomes:
+        Per-order accounting records, in the order they were decided.
+    timings:
+        Wall-clock breakdown: ``prepare_seconds`` (workload + oracle +
+        provider), ``run_seconds`` (the simulation), ``total_seconds``.
+    graph_hash:
+        Stable content hash of the road network the run used; makes
+        results and benchmark artifacts self-describing.
+    """
+
+    spec: ScenarioSpec
+    algorithm: str
+    metrics: SimulationMetrics
+    outcomes: tuple[OrderOutcome, ...]
+    timings: Mapping[str, float]
+    graph_hash: str
+
+    @property
+    def service_rate(self) -> float:
+        """Convenience accessor mirroring the headline metric."""
+        return self.metrics.service_rate
+
+    @property
+    def oracle_stats(self) -> Mapping[str, float | str] | None:
+        """Distance-oracle counters accumulated during this run."""
+        return self.metrics.oracle_stats
+
+    def summary(self) -> dict[str, Any]:
+        """Flat dictionary convenient for tabular reports and JSON."""
+        row: dict[str, Any] = dict(self.metrics.summary_row())
+        row["scenario"] = self.spec.describe()
+        row["graph_hash"] = self.graph_hash
+        return row
+
+
+class Session:
+    """Prepares networks and oracles once, then runs many scenarios.
+
+    Parameters
+    ----------
+    oracle_cache_dir:
+        Default on-disk oracle-preprocessing cache applied to every
+        scenario that does not set its own ``oracle_cache_dir``.  With
+        a warm directory, a brand-new process constructing the ``ch``
+        backend loads the persisted contraction order instead of
+        re-contracting the graph.
+    """
+
+    def __init__(self, *, oracle_cache_dir: str | None = None) -> None:
+        self._oracle_cache_dir = oracle_cache_dir
+        self._networks: dict[tuple, RoadNetwork] = {}
+        self._cities: dict[tuple, CityModel] = {}
+        self._workloads: OrderedDict[tuple, Workload] = OrderedDict()
+        self._providers: dict[tuple, ThresholdProvider] = {}
+        self._graph_hashes: dict[RoadNetwork, str] = {}
+        #: How many times a run actually (re)built an oracle — two runs
+        #: over one network with the same oracle settings count once.
+        self.oracle_builds = 0
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        spec: ScenarioSpec,
+        *,
+        hooks: SimulationHooks | None = None,
+        workload: Workload | None = None,
+        provider: ThresholdProvider | None = None,
+    ) -> RunResult:
+        """Execute one scenario and return its structured result.
+
+        Parameters
+        ----------
+        spec:
+            The scenario to run.
+        hooks:
+            Optional engine observer (``on_order_arrival`` /
+            ``on_periodic_check`` / ``on_assign``).
+        workload:
+            Escape hatch for custom demand models: run the spec's
+            dispatcher and settings over a caller-built workload
+            instead of the spec's source.
+        provider:
+            Pre-built threshold provider for ``WATTER-expect`` (one is
+            bootstrapped and memoised automatically when omitted).
+        """
+        spec = self._effective(spec)
+        config = spec.config()
+        started = time.perf_counter()
+        custom_workload = workload is not None
+        if workload is None:
+            workload = self.workload(spec)
+        self._attach_oracle(workload, config)
+        if provider is None and spec.algorithm.lower() == "watter-expect":
+            # A caller-supplied workload must also drive the threshold
+            # bootstrap, otherwise the thresholds would be fitted to
+            # the spec's source while evaluation runs different demand.
+            provider = self.expect_provider(
+                spec, workload=workload if custom_workload else None
+            )
+        prepare_seconds = time.perf_counter() - started
+        run_started = time.perf_counter()
+        dispatcher = make_dispatcher(spec.algorithm, workload, config, provider)
+        result = Simulator(workload, dispatcher, config, hooks=hooks).run()
+        run_seconds = time.perf_counter() - run_started
+        return RunResult(
+            spec=spec,
+            algorithm=spec.algorithm,
+            metrics=result.metrics,
+            outcomes=tuple(result.collector.outcomes),
+            timings={
+                "prepare_seconds": prepare_seconds,
+                "run_seconds": run_seconds,
+                "total_seconds": prepare_seconds + run_seconds,
+            },
+            graph_hash=self.graph_hash(workload.network),
+        )
+
+    def compare(
+        self,
+        spec: ScenarioSpec,
+        algorithms: Sequence[str] = ALGORITHMS,
+        *,
+        use_rl: bool | None = None,
+        hooks: SimulationHooks | None = None,
+        workload: Workload | None = None,
+    ) -> list[RunResult]:
+        """Run several algorithms over the *same* workload.
+
+        The workload, the warmed oracle and (when ``WATTER-expect`` is
+        among the algorithms) the threshold provider are shared, so the
+        compared runs differ in dispatching logic alone — the facade
+        equivalent of the legacy ``run_comparison``.
+        """
+        spec = self._effective(spec)
+        if use_rl is not None and use_rl != spec.use_rl:
+            spec = spec.with_overrides(use_rl=use_rl)
+        provider: ThresholdProvider | None = None
+        if any(name.lower() == "watter-expect" for name in algorithms):
+            provider = self.expect_provider(spec, workload=workload)
+        results = []
+        for algorithm in algorithms:
+            results.append(
+                self.run(
+                    spec.with_overrides(algorithm=algorithm),
+                    hooks=hooks,
+                    workload=workload,
+                    provider=provider,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # prepared state
+    # ------------------------------------------------------------------
+    def network(self, spec: ScenarioSpec) -> RoadNetwork:
+        """The (shared) road network the spec's scenarios run on."""
+        spec = self._effective(spec)
+        return self._network_for(spec, spec.config())
+
+    def workload(self, spec: ScenarioSpec) -> Workload:
+        """Generate — or replay from the session cache — the spec's workload."""
+        spec = self._effective(spec)
+        config = spec.config()
+        key = self._workload_key(spec, config)
+        cached = self._workloads.get(key)
+        if cached is not None:
+            self._workloads.move_to_end(key)
+            return cached
+        workload = self._build_workload(spec, config)
+        self._workloads[key] = workload
+        if len(self._workloads) > _WORKLOAD_CACHE_SIZE:
+            self._workloads.popitem(last=False)
+        return workload
+
+    def prepare(self, spec: ScenarioSpec) -> Workload:
+        """Stand the scenario's workload and oracle up without running it."""
+        spec = self._effective(spec)
+        config = spec.config()
+        workload = self.workload(spec)
+        self._attach_oracle(workload, config)
+        return workload
+
+    def expect_provider(
+        self, spec: ScenarioSpec, workload: Workload | None = None
+    ) -> ThresholdProvider:
+        """The memoised WATTER-expect threshold provider for this scenario.
+
+        Bootstrapped exactly like the legacy
+        :func:`~repro.experiments.runner.build_expect_provider` — a
+        training workload with a shifted seed and half the orders, a
+        WATTER-timeout bootstrap run, the Section V GMM fit, optionally
+        the Section VI value network — but sourcing the training
+        workload from whatever the spec describes (dataset preset, grid
+        city or CSV replay).  ``workload`` substitutes for the spec's
+        source when the caller runs a custom workload — those providers
+        are *not* memoised (the session cannot tell two caller-built
+        workloads apart by spec alone, and a provider fitted to one
+        demand model must never silently serve another).
+
+        Replayed logs and caller-built workloads have no shifted-seed
+        sibling to train on, so their bootstrap runs over a *thinned
+        subsample* (every other order, capped at the derived training
+        size) instead of the exact evaluation set — reducing, though
+        not eliminating, the train/test overlap the synthetic path
+        avoids entirely.
+        """
+        spec = self._effective(spec)
+        config = spec.config()
+        if workload is not None:
+            return _build_expect_provider(
+                lambda training_config: _training_subsample(
+                    workload, training_config
+                ),
+                config,
+                use_rl=spec.use_rl,
+            )
+        key = self._provider_key(spec, config)
+        cached = self._providers.get(key)
+        if cached is not None:
+            return cached
+
+        def workload_for(training_config: SimulationConfig) -> Workload:
+            training_spec = spec.with_overrides(
+                num_orders=training_config.num_orders,
+                seed=training_config.seed,
+            )
+            training = self.workload(training_spec)
+            if spec.workload == "csv":
+                # The overrides cannot change a replayed log; thin it
+                # instead of training on the evaluation orders.
+                return _training_subsample(training, training_config)
+            return training
+
+        provider = _build_expect_provider(
+            workload_for, config, use_rl=spec.use_rl
+        )
+        self._providers[key] = provider
+        return provider
+
+    def graph_hash(self, network: RoadNetwork) -> str:
+        """Stable content hash of a network's graph (memoised per object)."""
+        cached = self._graph_hashes.get(network)
+        if cached is None:
+            cached = graph_signature(network.graph)
+            self._graph_hashes[network] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _effective(self, spec: ScenarioSpec) -> ScenarioSpec:
+        """Apply session-level defaults (today: the oracle cache dir)."""
+        if self._oracle_cache_dir and spec.oracle_cache_dir is None:
+            return spec.with_overrides(oracle_cache_dir=self._oracle_cache_dir)
+        return spec
+
+    def _attach_oracle(self, workload: Workload, config: SimulationConfig) -> None:
+        before = workload.network.oracle
+        oracle = configure_oracle(
+            workload.network, config, nodes=workload.active_nodes(), reuse=True
+        )
+        if oracle is not before:
+            self.oracle_builds += 1
+
+    def _network_key(self, spec: ScenarioSpec, config: SimulationConfig) -> tuple:
+        if spec.network == "dataset":
+            return ("dataset", spec.dataset, config.seed)
+        return (
+            "grid",
+            spec.grid_rows,
+            spec.grid_cols,
+            spec.grid_edge_travel_time,
+            spec.grid_jitter,
+            config.seed,
+        )
+
+    def _workload_key(self, spec: ScenarioSpec, config: SimulationConfig) -> tuple:
+        return (
+            self._network_key(spec, config),
+            spec.workload,
+            spec.orders_csv,
+            spec.workers_csv,
+            config,
+        )
+
+    def _provider_key(self, spec: ScenarioSpec, config: SimulationConfig) -> tuple:
+        return (*self._workload_key(spec, config), spec.use_rl)
+
+    def _network_for(
+        self, spec: ScenarioSpec, config: SimulationConfig
+    ) -> RoadNetwork:
+        key = self._network_key(spec, config)
+        network = self._networks.get(key)
+        if network is not None:
+            return network
+        if spec.network == "dataset":
+            city = city_by_name(spec.dataset, seed=config.seed)
+            self._cities[key] = city
+            network = city.network
+        else:
+            network = grid_city(
+                rows=spec.grid_rows,
+                cols=spec.grid_cols,
+                edge_travel_time=spec.grid_edge_travel_time,
+                jitter=spec.grid_jitter,
+                seed=config.seed,
+            )
+        self._networks[key] = network
+        return network
+
+    def _city_for(self, spec: ScenarioSpec, config: SimulationConfig) -> CityModel:
+        key = self._network_key(spec, config)
+        network = self._network_for(spec, config)
+        city = self._cities.get(key)
+        if city is None:
+            city = _grid_city_model(spec, network)
+            self._cities[key] = city
+        return city
+
+    def _build_workload(
+        self, spec: ScenarioSpec, config: SimulationConfig
+    ) -> Workload:
+        if spec.workload == "synthetic":
+            return self._city_for(spec, config).generate(config)
+        return self._csv_workload(spec, config)
+
+    def _csv_workload(
+        self, spec: ScenarioSpec, config: SimulationConfig
+    ) -> Workload:
+        network = self._network_for(spec, config)
+        assert spec.orders_csv is not None  # enforced by the spec
+        orders = orders_from_csv(spec.orders_csv)
+        for order in orders:
+            if order.pickup not in network or order.dropoff not in network:
+                raise ConfigurationError(
+                    f"replayed order {order.order_id} references node "
+                    f"{order.pickup if order.pickup not in network else order.dropoff}"
+                    f" absent from the scenario's {spec.network!r} network — "
+                    f"the spec must describe the network the log was recorded on"
+                )
+        if spec.workers_csv is not None:
+            workers = workers_from_csv(spec.workers_csv)
+            for worker in workers:
+                if worker.location not in network:
+                    raise ConfigurationError(
+                        f"replayed worker {worker.worker_id} parks on node "
+                        f"{worker.location} absent from the scenario's network"
+                    )
+        else:
+            # No fleet log: sample start locations from the observed
+            # pickups, the same choice the synthetic generator makes.
+            rng = random.Random(config.seed)
+            pickups = [order.pickup for order in orders]
+            workers = [
+                Worker(
+                    location=rng.choice(pickups),
+                    capacity=rng.randint(2, config.max_capacity),
+                )
+                for _ in range(config.num_workers)
+            ]
+        return Workload(
+            orders=orders,
+            workers=workers,
+            network=network,
+            name=spec.name or "csv-replay",
+        )
+
+
+def _training_subsample(
+    workload: Workload, training_config: SimulationConfig
+) -> Workload:
+    """Thinned copy of a fixed workload for threshold training.
+
+    Every other order, capped at the derived training size — the
+    closest available stand-in for the synthetic path's disjoint
+    shifted-seed training workload when the orders are a replayed log
+    that cannot be regenerated.
+    """
+    orders = list(workload.orders[::2][: max(training_config.num_orders, 1)])
+    if not orders:
+        orders = list(workload.orders)
+    return Workload(
+        orders=orders,
+        workers=list(workload.workers),
+        network=workload.network,
+        name=f"{workload.name}-train",
+    )
+
+
+def _grid_city_model(spec: ScenarioSpec, network: RoadNetwork) -> CityModel:
+    """Default demand model for generated grid networks.
+
+    A centre-weighted hotspot mix over the lattice's bounding box:
+    demand concentrates downtown with two satellite clusters, plus a
+    uniform background — enough spatial clustering to make pooling
+    meaningful without requiring the user to hand-build a
+    :class:`CityModel` for every quick grid experiment.
+    """
+    min_x, min_y, max_x, max_y = network.bounding_box()
+    cx, cy = (min_x + max_x) / 2.0, (min_y + max_y) / 2.0
+    spread = max(max_x - min_x, max_y - min_y, 1.0) / 6.0
+    quarter_x, quarter_y = (max_x - min_x) / 4.0, (max_y - min_y) / 4.0
+    pickup_hotspots = [
+        DemandHotspot(x=cx, y=cy, spread=spread, weight=2.0),
+        DemandHotspot(x=cx - quarter_x, y=cy + quarter_y, spread=spread, weight=1.0),
+        DemandHotspot(x=cx + quarter_x, y=cy - quarter_y, spread=spread, weight=1.0),
+    ]
+    dropoff_hotspots = [
+        DemandHotspot(x=cx, y=cy, spread=1.5 * spread, weight=1.5),
+        DemandHotspot(x=cx + quarter_x, y=cy + quarter_y, spread=spread, weight=1.0),
+    ]
+    return CityModel(
+        name=spec.name or f"GRID-{spec.grid_rows}x{spec.grid_cols}",
+        network=network,
+        pickup_hotspots=pickup_hotspots,
+        dropoff_hotspots=dropoff_hotspots,
+        uniform_fraction=0.3,
+        min_trip_time=2.0 * spec.grid_edge_travel_time,
+    )

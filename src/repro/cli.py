@@ -1,9 +1,11 @@
 """Command-line interface for running WATTER experiments.
 
-Three subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
 * ``compare`` — run several algorithms over one generated workload and
   print the comparison table (the Table III default experiment),
+* ``run``    — execute a scenario described by a JSON/YAML spec file
+  (``repro.api.ScenarioSpec`` serialised with ``to_dict``),
 * ``sweep``   — regenerate one of the paper's figures (vary orders,
   workers, deadline or capacity) as text tables,
 * ``example1`` — rerun the worked example of the introduction,
@@ -11,14 +13,17 @@ Three subcommands cover the common workflows:
   realistic query mix and print the timing table.
 
 Every workload command accepts ``--oracle {lazy,landmark,matrix,ch}``
-to pick the shortest-path backend without touching any code.
+to pick the shortest-path backend and ``--oracle-cache DIR`` to persist
+(and reuse) CH preprocessing on disk, without touching any code.
 
-The CLI is intentionally a thin veneer over :mod:`repro.experiments` so
-everything it can do is equally reachable from Python.
+The CLI is intentionally a thin veneer over :mod:`repro.api` — every
+flag set maps onto a :class:`~repro.api.ScenarioSpec`, so anything it
+can do is equally reachable (and scriptable) from Python.
 
 Usage::
 
     python -m repro.cli compare --dataset CDC --orders 120 --workers 24
+    python -m repro.cli run --spec scenario.json
     python -m repro.cli sweep --figure fig5 --dataset XIA
     python -m repro.cli example1
 """
@@ -28,8 +33,11 @@ from __future__ import annotations
 import argparse
 from typing import Sequence
 
+from .api import RunResult, ScenarioSpec, Session, load_spec
 from .experiments.benchmarking import (
     PARALLEL_ACCEPTANCE_SHARDS,
+    bench_scenario_identity,
+    benchmark_ch_preprocessing_cache,
     benchmark_dispatch_queries,
     benchmark_oracles,
     benchmark_parallel_dispatch,
@@ -45,7 +53,8 @@ from .experiments.reporting import (
     format_full_sweep_report,
     format_oracle_stats_table,
 )
-from .experiments.runner import ALGORITHMS, run_comparison
+from .experiments.runner import ALGORITHMS
+from .datasets.workloads import build_workload
 from .network.oracle import available_backends
 from .simulation.parallel import DISPATCH_MODES
 from .experiments.sweeps import (
@@ -87,6 +96,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--use-rl",
         action="store_true",
         help="train the RL value function for WATTER-expect instead of the GMM fit",
+    )
+
+    run = subparsers.add_parser(
+        "run", help="execute a scenario described by a JSON/YAML spec file"
+    )
+    run.add_argument(
+        "--spec",
+        required=True,
+        metavar="PATH",
+        help="scenario file (repro.api.ScenarioSpec as JSON, or YAML with PyYAML)",
+    )
+    run.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=None,
+        choices=list(ALGORITHMS),
+        help="override the spec's algorithm with a comparison set",
     )
 
     sweep = subparsers.add_parser("sweep", help="regenerate one figure of the paper")
@@ -177,6 +203,15 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
         help="distance-oracle backend for shortest-path queries",
     )
     parser.add_argument(
+        "--oracle-cache",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for persisted oracle preprocessing; a warm cache "
+            "lets the ch backend skip graph contraction entirely"
+        ),
+    )
+    parser.add_argument(
         "--dispatch-workers",
         type=_positive_int,
         default=None,
@@ -199,6 +234,13 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _config_from_args(args: argparse.Namespace):
+    """Legacy flag-to-config assembly.
+
+    The commands themselves now go through
+    :meth:`repro.api.ScenarioSpec.from_args`; this helper is kept (and
+    tested) as the reference the spec path must stay equivalent to:
+    ``_config_from_args(args) == ScenarioSpec.from_args(args).config()``.
+    """
     overrides = {}
     if args.orders is not None:
         overrides["num_orders"] = args.orders
@@ -210,6 +252,8 @@ def _config_from_args(args: argparse.Namespace):
         overrides["seed"] = args.seed
     if getattr(args, "oracle", None) is not None:
         overrides["oracle_backend"] = args.oracle
+    if getattr(args, "oracle_cache", None) is not None:
+        overrides["oracle_cache_dir"] = args.oracle_cache
     if getattr(args, "dispatch_workers", None) is not None:
         overrides["dispatch_workers"] = args.dispatch_workers
     if getattr(args, "dispatch_mode", None) is not None:
@@ -217,17 +261,46 @@ def _config_from_args(args: argparse.Namespace):
     return default_config(args.dataset, **overrides)
 
 
-def _run_compare(args: argparse.Namespace) -> str:
-    config = _config_from_args(args)
-    metrics = run_comparison(
-        args.dataset, config, algorithms=args.algorithms, use_rl=args.use_rl
+def _scenario_line(run: RunResult) -> str:
+    """One self-describing identity line appended to comparison output."""
+    config = run.spec.config()
+    return (
+        f"scenario: {run.spec.describe()} oracle={config.oracle_backend} "
+        f"seed={config.seed} dispatch_workers={config.dispatch_workers} "
+        f"graph={run.graph_hash[:12]}"
     )
-    title = f"Algorithm comparison ({args.dataset}, n={config.num_orders}, m={config.num_workers})"
+
+
+def _comparison_output(results: list[RunResult], title: str) -> str:
+    metrics = [run.metrics for run in results]
     output = format_comparison_table(metrics, title=title)
     oracle_table = format_oracle_stats_table(metrics)
     if oracle_table:
         output += "\n\n" + oracle_table
+    output += "\n\n" + _scenario_line(results[0])
     return output
+
+
+def _run_compare(args: argparse.Namespace) -> str:
+    spec = ScenarioSpec.from_args(args)
+    config = spec.config()
+    results = Session().compare(
+        spec, algorithms=args.algorithms, use_rl=args.use_rl
+    )
+    title = f"Algorithm comparison ({args.dataset}, n={config.num_orders}, m={config.num_workers})"
+    return _comparison_output(results, title)
+
+
+def _run_spec_file(args: argparse.Namespace) -> str:
+    spec = load_spec(args.spec)
+    algorithms = tuple(args.algorithms) if args.algorithms else (spec.algorithm,)
+    results = Session().compare(spec, algorithms=algorithms, use_rl=spec.use_rl)
+    config = spec.config()
+    title = (
+        f"Scenario {spec.describe()} "
+        f"(n={config.num_orders}, m={config.num_workers})"
+    )
+    return _comparison_output(results, title)
 
 
 def _run_sweep(args: argparse.Namespace) -> str:
@@ -264,25 +337,45 @@ def _run_bench(args: argparse.Namespace) -> str:
 
 
 def _run_dispatch_bench(args: argparse.Namespace, config) -> str:
+    workload = build_workload(args.dataset, config)
     results = benchmark_dispatch_queries(
-        args.dataset,
-        config,
         backends=args.backends,
         num_sources=args.dispatch_sources,
+        graph=workload.network.graph,
     )
     spatial = benchmark_spatial_index()
     parallel = [
         benchmark_parallel_dispatch(num_shards=args.dispatch_shards, mode=mode)
         for mode in ("thread", "process")
     ]
+    ch_cache = benchmark_ch_preprocessing_cache(graph=workload.network.graph)
     title = (
         f"Many-to-one dispatch benchmark ({args.dataset}, "
         f"{args.dispatch_sources} workers per round)"
     )
     output = format_dispatch_bench_table(results, spatial, title=title)
     output += "\n\n" + format_parallel_bench_lines(parallel)
+    output += (
+        f"\nch preprocessing cache: cold {ch_cache.cold_seconds:.3f}s, "
+        f"warm {ch_cache.warm_seconds:.3f}s ({ch_cache.speedup:.1f}x)"
+    )
     if args.json:
-        path = write_dispatch_trajectory(args.json, results, spatial, parallel)
+        # Benchmark artifacts are self-describing: the trajectory
+        # records which scenario (backend set, seed, graph) produced it.
+        scenario = bench_scenario_identity(
+            workload.network.graph,
+            args.backends if args.backends else available_backends(),
+            scenario="dispatch-bench",
+            network="dataset",
+            dataset=args.dataset,
+            seed=config.seed,
+            num_orders=config.num_orders,
+            num_workers=config.num_workers,
+        )
+        path = write_dispatch_trajectory(
+            args.json, results, spatial, parallel, ch_cache=ch_cache,
+            scenario=scenario,
+        )
         output += f"\n\ntrajectory written to {path}"
         if args.dispatch_shards != PARALLEL_ACCEPTANCE_SHARDS:
             # The regression gate tracks the canonical 4-shard bar; a
@@ -305,6 +398,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--json records the dispatch trajectory; add --dispatch")
     if args.command == "compare":
         output = _run_compare(args)
+    elif args.command == "run":
+        output = _run_spec_file(args)
     elif args.command == "sweep":
         output = _run_sweep(args)
     elif args.command == "bench":

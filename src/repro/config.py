@@ -17,10 +17,42 @@ scaled down so a full sweep finishes on a laptop-class machine:
 
 from __future__ import annotations
 
+import sys
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
 from .exceptions import ConfigurationError
+
+_DEPRECATION_MESSAGE = (
+    "constructing SimulationConfig directly is deprecated as a public "
+    "entry point: describe the run with repro.api.ScenarioSpec and execute "
+    "it with repro.api.Session (SimulationConfig remains the validated "
+    "internal parameter carrier and keeps working unchanged)"
+)
+
+
+def _constructed_externally() -> bool:
+    """Whether the nearest relevant caller frame lives outside the library.
+
+    The facade (``repro.api``) and every internal helper construct
+    ``SimulationConfig`` freely; only *direct* construction from user
+    code should raise the deprecation pointer at ``repro.api``.  Frames
+    belonging to :mod:`dataclasses`/:mod:`copy` (``replace`` and the
+    generated ``__init__``) and to this module are skipped so
+    ``with_overrides`` attributes the construction to *its* caller.
+    """
+    try:
+        frame = sys._getframe(2)
+    except ValueError:  # pragma: no cover - no caller frame at all
+        return False
+    while frame is not None:
+        name = frame.f_globals.get("__name__", "")
+        if name in ("dataclasses", "copy", "repro.config"):
+            frame = frame.f_back
+            continue
+        return not (name == "repro" or name.startswith("repro."))
+    return False
 
 
 @dataclass(frozen=True)
@@ -85,6 +117,11 @@ class SimulationConfig:
     oracle_witness_hops:
         Hop limit of the witness searches run while the ``ch`` backend
         contracts the graph (higher = fewer shortcuts, slower setup).
+    oracle_cache_dir:
+        Directory for persisted oracle preprocessing (``None`` = no
+        persistence).  The ``ch`` backend stores its contraction order
+        and shortcuts there keyed by a stable graph hash, so a warm
+        directory lets a fresh process skip the contraction pass.
     dispatch_workers:
         Number of shards the periodic check's oracle blocks are
         partitioned across (1 = fully serial, no engine).  Parallel
@@ -117,6 +154,7 @@ class SimulationConfig:
     oracle_cache_size: int = 1024
     oracle_landmarks: int = 8
     oracle_witness_hops: int = 5
+    oracle_cache_dir: str | None = None
     dispatch_workers: int = 1
     dispatch_mode: str = "thread"
 
@@ -170,6 +208,12 @@ class SimulationConfig:
                 f"unknown oracle backend {self.oracle_backend!r}; "
                 f"available: {tuple(sorted(ORACLE_BACKENDS))}"
             )
+        if self.oracle_cache_dir is not None and not isinstance(
+            self.oracle_cache_dir, str
+        ):
+            raise ConfigurationError("oracle_cache_dir must be a path string")
+        if _constructed_externally():
+            warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=3)
 
     def with_overrides(self, **overrides: Any) -> "SimulationConfig":
         """Return a copy with the given fields replaced.

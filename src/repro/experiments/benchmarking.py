@@ -19,10 +19,11 @@ from __future__ import annotations
 
 import json
 import random
+import tempfile
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ..config import ExtraTimeWeights, SimulationConfig
 from ..datasets.synthetic import Workload
@@ -34,6 +35,7 @@ from ..model.worker import Worker
 from ..network.generators import grid_city
 from ..network.grid import GridIndex
 from ..network.oracle import available_backends, create_oracle
+from ..network.oracle.ch import CHOracle
 from ..routing.planner import RoutePlanner
 from ..simulation.fleet import WorkerFleet
 from ..simulation.parallel import ParallelDispatchEngine, usable_cpu_count
@@ -450,6 +452,109 @@ class ParallelDispatchBenchResult:
 MANY_TO_ONE_ACCEPTANCE_SPEEDUP = 5.0
 CH_COLD_P2P_ACCEPTANCE_SPEEDUP = 5.0
 SPATIAL_ACCEPTANCE_SPEEDUP = 1.2
+CH_CACHE_ACCEPTANCE_SPEEDUP = 5.0
+
+
+@dataclass(frozen=True)
+class CHCacheBenchResult:
+    """Cold vs warm CH oracle construction with a disk preprocessing cache."""
+
+    num_nodes: int
+    cold_seconds: float
+    warm_seconds: float
+    loaded_from_cache: bool
+
+    @property
+    def speedup(self) -> float:
+        """How much faster a warm cache directory stands the oracle up."""
+        if self.warm_seconds <= 0.0:
+            return float("inf")
+        return self.cold_seconds / self.warm_seconds
+
+
+def benchmark_ch_preprocessing_cache(
+    graph=None,
+    grid_dim: int = 32,
+    cache_dir: str | None = None,
+    num_check_pairs: int = 64,
+    seed: int = 3,
+) -> CHCacheBenchResult:
+    """Time CH oracle construction cold (contracting) vs warm (from disk).
+
+    The cold build always contracts the graph (it deliberately bypasses
+    any pre-existing cache file, so a warm ``cache_dir`` cannot turn
+    the "cold" measurement into a second restore and fake a ~1x
+    ratio) and persists its node order and shortcuts to ``cache_dir``
+    (a temporary directory by default); the warm build — what a *fresh
+    process* with a warm ``oracle_cache_dir`` does — restores the
+    hierarchy from that file instead of re-contracting.  Both oracles
+    answer the same sampled query set and are cross-checked
+    pair-for-pair, so the cache can only ever be a speedup, never a
+    behaviour change.
+    """
+    from ..network.oracle.cache import ch_cache_path, save_ch_preprocessing
+
+    if graph is None:
+        graph = grid_city(rows=grid_dim, cols=grid_dim, seed=seed, jitter=0.3).graph
+    with tempfile.TemporaryDirectory() as scratch:
+        directory = cache_dir or scratch
+        started = time.perf_counter()
+        cold = create_oracle("ch", graph)  # no cache_dir: always contracts
+        cold_seconds = time.perf_counter() - started
+        assert isinstance(cold, CHOracle)
+        save_ch_preprocessing(
+            ch_cache_path(directory, graph, cold.witness_hop_limit), cold, graph
+        )
+        started = time.perf_counter()
+        warm = create_oracle("ch", graph, cache_dir=directory)
+        warm_seconds = time.perf_counter() - started
+        assert isinstance(warm, CHOracle)
+        rng = random.Random(seed)
+        nodes = sorted(graph.nodes)
+        for _ in range(num_check_pairs):
+            source, target = rng.sample(nodes, 2)
+            try:
+                want = cold.travel_time(source, target)
+            except UnreachableError:
+                want = None
+            try:
+                got = warm.travel_time(source, target)
+            except UnreachableError:
+                got = None
+            if (got is None) != (want is None):
+                raise AssertionError(
+                    f"cache-restored CH oracle disagrees on reachability for "
+                    f"({source}, {target})"
+                )
+            if want is not None and abs(got - want) > 1e-9 * max(want, 1.0):
+                raise AssertionError(
+                    f"cache-restored CH oracle disagrees: {got} != {want}"
+                )
+        return CHCacheBenchResult(
+            num_nodes=graph.number_of_nodes(),
+            cold_seconds=cold_seconds,
+            warm_seconds=warm_seconds,
+            loaded_from_cache=warm.preprocessing_loaded,
+        )
+
+def bench_scenario_identity(graph, backends: Sequence[str], **source) -> dict:
+    """Self-describing ``scenario`` block for benchmark trajectories.
+
+    One schema for every writer (the benchmark suite's fixture and the
+    CLI's ``bench --dispatch --json``): the source descriptors the
+    caller knows (dataset/seed/grid shape/workload sizes), the backend
+    set that was timed, and the content hash of the graph the numbers
+    were measured on.  Deliberately *no* ``algorithm`` field — the
+    oracle benchmarks run no dispatcher.
+    """
+    from ..network.oracle.cache import graph_signature
+
+    return {
+        **source,
+        "backends": sorted(backends),
+        "graph_hash": graph_signature(graph),
+    }
+
 
 #: The ISSUE's acceptance bar: 4 process shards must at least double
 #: periodic-check throughput — *when the machine has the cores to run
@@ -547,18 +652,22 @@ def write_dispatch_trajectory(
     dispatch_results: Sequence[DispatchBenchResult],
     spatial_result: SpatialBenchResult | None = None,
     parallel_results: Sequence[ParallelDispatchBenchResult] = (),
+    ch_cache: CHCacheBenchResult | None = None,
+    scenario: Mapping | None = None,
 ) -> Path:
     """Write the dispatch benchmark trajectory file (``BENCH_dispatch.json``).
 
     The file records, per backend, the timings of the forward and
-    batched many-to-one paths, the spatial-index microbenchmark and the
-    sharded-engine periodic-check benchmark, so CI runs leave a
-    machine-readable trace of the hot path's speedups.  An
-    ``acceptance`` section restates every bar the benchmark suite
-    asserts (value, threshold, met, applicable) — the CI regression
-    gate (``benchmarks/check_regression.py``) fails the build when a
-    recorded ratio degrades or an applicable bar flips from met to not
-    met.
+    batched many-to-one paths, the spatial-index microbenchmark, the
+    sharded-engine periodic-check benchmark and the CH
+    preprocessing-cache benchmark, so CI runs leave a machine-readable
+    trace of the hot path's speedups.  A ``scenario`` block (spec
+    identity: backends, seed, graph hash) makes the artifact
+    self-describing.  An ``acceptance`` section restates every bar the
+    benchmark suite asserts (value, threshold, met, applicable) — the
+    CI regression gate (``benchmarks/check_regression.py``) fails the
+    build when a recorded ratio degrades or an applicable bar flips
+    from met to not met.
     """
     payload: dict = {
         "benchmark": "dispatch_many_to_one",
@@ -567,6 +676,8 @@ def write_dispatch_trajectory(
             for result in dispatch_results
         ],
     }
+    if scenario is not None:
+        payload["scenario"] = dict(scenario)
     acceptance: dict[str, dict] = {}
     by_backend = {result.backend: result for result in dispatch_results}
     if "lazy" in by_backend:
@@ -648,6 +759,19 @@ def write_dispatch_trajectory(
                 "applicable": applicable,
                 "available_cpus": process.available_cpus,
             }
+    if ch_cache is not None:
+        payload["ch_cache"] = {
+            **asdict(ch_cache),
+            "speedup": ch_cache.speedup,
+        }
+        acceptance["ch_warm_construction_speedup"] = {
+            "value": ch_cache.speedup,
+            "threshold": CH_CACHE_ACCEPTANCE_SPEEDUP,
+            "met": ch_cache.speedup >= CH_CACHE_ACCEPTANCE_SPEEDUP,
+            # A warm load that did not actually come from disk would
+            # make the ratio meaningless; record it as not applicable.
+            "applicable": ch_cache.loaded_from_cache,
+        }
     payload["acceptance"] = acceptance
     destination = Path(path)
     destination.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

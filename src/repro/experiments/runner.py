@@ -17,8 +17,9 @@ workload and uses ``theta = p - V(s)`` online.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..config import LearningConfig, SimulationConfig
 from ..core.state import StateEncoder
@@ -33,8 +34,9 @@ from ..network.grid import GridIndex
 from ..network.oracle import configure_oracle
 from ..routing.planner import RoutePlanner
 from ..simulation.dispatcher import Dispatcher
-from ..simulation.engine import Simulator
+from ..simulation.engine import SimulationResult, Simulator
 from ..simulation.fleet import WorkerFleet
+from ..simulation.hooks import SimulationHooks
 from ..simulation.metrics import SimulationMetrics
 
 ALGORITHMS = (
@@ -107,16 +109,39 @@ def build_expect_provider(
     training_fraction:
         Size of the training workload relative to the evaluation one.
     """
+    return _build_expect_provider(
+        lambda training_config: build_workload(dataset, training_config),
+        config,
+        use_rl=use_rl,
+        learning_config=learning_config,
+        training_fraction=training_fraction,
+    )
+
+
+def _build_expect_provider(
+    workload_for: Callable[[SimulationConfig], Workload],
+    config: SimulationConfig,
+    use_rl: bool = False,
+    learning_config: LearningConfig | None = None,
+    training_fraction: float = 0.5,
+) -> ThresholdProvider:
+    """Source-agnostic core of :func:`build_expect_provider`.
+
+    ``workload_for`` maps the derived training configuration to a
+    training workload; the legacy entry point binds it to the dataset
+    presets, while ``repro.api.Session`` binds it to whatever source
+    (grid network, CSV replay, ...) the scenario describes.
+    """
     training_orders = max(int(config.num_orders * training_fraction), 50)
     training_config = config.with_overrides(
         num_orders=training_orders, seed=config.seed + 1000
     )
-    training_workload = build_workload(dataset, training_config)
+    training_workload = workload_for(training_config)
     # The bootstrap uses the timeout strategy because its dispatches are
     # dominated by *shared* groups, so the recorded extra times cover the
     # range the threshold must discriminate over (an online bootstrap would
     # record mostly near-zero extra times and collapse the fit).
-    bootstrap = run_on_workload("WATTER-timeout", training_workload, training_config)
+    bootstrap = _run_on_workload("WATTER-timeout", training_workload, training_config)
     extra_times = [
         outcome.extra_time
         for outcome in bootstrap.collector.outcomes
@@ -185,15 +210,40 @@ def make_dispatcher(
     )
 
 
+def _run_on_workload(
+    algorithm: str,
+    workload: Workload,
+    config: SimulationConfig,
+    provider: ThresholdProvider | None = None,
+    hooks: SimulationHooks | None = None,
+) -> SimulationResult:
+    """Run one algorithm over an already-generated workload (internal)."""
+    dispatcher = make_dispatcher(algorithm, workload, config, provider)
+    return Simulator(workload, dispatcher, config, hooks=hooks).run()
+
+
 def run_on_workload(
     algorithm: str,
     workload: Workload,
     config: SimulationConfig,
     provider: ThresholdProvider | None = None,
 ):
-    """Run one algorithm over an already-generated workload."""
-    dispatcher = make_dispatcher(algorithm, workload, config, provider)
-    return Simulator(workload, dispatcher, config).run()
+    """Run one algorithm over an already-generated workload.
+
+    .. deprecated::
+        Describe the run with :class:`repro.api.ScenarioSpec` and
+        execute it through :class:`repro.api.Session` (which also
+        accepts a pre-built ``workload=`` for custom demand models).
+        This shim keeps working and produces identical metrics.
+    """
+    warnings.warn(
+        "run_on_workload is deprecated: describe the run with "
+        "repro.api.ScenarioSpec and execute it with repro.api.Session.run "
+        "(pass workload=... for custom workloads); results are identical",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_on_workload(algorithm, workload, config, provider)
 
 
 def run_algorithm(
@@ -202,11 +252,15 @@ def run_algorithm(
     config: SimulationConfig,
     provider: ThresholdProvider | None = None,
 ) -> SimulationMetrics:
-    """Generate the dataset's workload and run one algorithm over it."""
-    workload = build_workload(dataset, config)
-    if algorithm.lower() == "watter-expect" and provider is None:
-        provider = build_expect_provider(dataset, config)
-    return run_on_workload(algorithm, workload, config, provider).metrics
+    """Generate the dataset's workload and run one algorithm over it.
+
+    Thin adapter over the :mod:`repro.api` facade (kept as the
+    long-standing convenience signature).
+    """
+    from ..api import ScenarioSpec, Session
+
+    spec = ScenarioSpec.from_config(dataset, config, algorithm=algorithm)
+    return Session().run(spec, provider=provider).metrics
 
 
 def run_comparison(
@@ -215,13 +269,17 @@ def run_comparison(
     algorithms: Sequence[str] = ALGORITHMS,
     use_rl: bool = False,
 ) -> list[SimulationMetrics]:
-    """Run several algorithms over the *same* workload and return their metrics."""
-    workload = build_workload(dataset, config)
-    provider: ThresholdProvider | None = None
-    if any(name.lower() == "watter-expect" for name in algorithms):
-        provider = build_expect_provider(dataset, config, use_rl=use_rl)
-    results = []
-    for algorithm in algorithms:
-        result = run_on_workload(algorithm, workload, config, provider)
-        results.append(result.metrics)
-    return results
+    """Run several algorithms over the *same* workload and return their metrics.
+
+    Thin adapter over :meth:`repro.api.Session.compare`; the workload,
+    the threshold provider and the warmed oracle are shared across the
+    compared algorithms exactly as before.
+    """
+    from ..api import ScenarioSpec, Session
+
+    spec = ScenarioSpec.from_config(dataset, config, use_rl=use_rl)
+    session = Session()
+    return [
+        run.metrics
+        for run in session.compare(spec, algorithms=algorithms, use_rl=use_rl)
+    ]

@@ -6,6 +6,12 @@ Service Rate, Running Time) for every compared algorithm at every
 parameter value — exactly the series plotted in the corresponding
 figure.  The raw rows are returned as :class:`ExperimentRun` records and
 can be rendered with :func:`repro.experiments.reporting.format_sweep_table`.
+
+The sweeps are thin adapters over :func:`repro.api.sweep`: every
+parameter value becomes one :class:`~repro.api.ScenarioSpec`, and the
+whole sweep shares a single :class:`~repro.api.Session` so the road
+network (and any heavyweight oracle preprocessing) is built once
+instead of once per value.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ from typing import Sequence
 
 from ..config import SimulationConfig
 from .config import PARAMETER_GRID, default_config, worker_counts_scaled
-from .runner import ALGORITHMS, ExperimentRun, run_comparison
+from .runner import ALGORITHMS, ExperimentRun
 
 
 @dataclass
@@ -62,18 +68,33 @@ def _run_sweep(
     config_for_value,
     use_rl: bool = False,
 ) -> SweepResult:
+    from ..api import ScenarioSpec, sweep as api_sweep
+
+    base_spec = ScenarioSpec.from_config(dataset, base_config, use_rl=use_rl)
+
+    def spec_for_value(_spec: ScenarioSpec, value) -> ScenarioSpec:
+        return ScenarioSpec.from_config(
+            dataset, config_for_value(base_config, value), use_rl=use_rl
+        )
+
+    points = api_sweep(
+        base_spec,
+        parameter,
+        values,
+        algorithms=algorithms,
+        use_rl=use_rl,
+        spec_for_value=spec_for_value,
+    )
     result = SweepResult(parameter=parameter, dataset=dataset)
-    for value in values:
-        config = config_for_value(base_config, value)
-        metrics_list = run_comparison(dataset, config, algorithms, use_rl=use_rl)
-        for metrics in metrics_list:
+    for point in points:
+        for run in point.results:
             result.runs.append(
                 ExperimentRun(
-                    algorithm=metrics.algorithm,
+                    algorithm=run.metrics.algorithm,
                     dataset=dataset,
                     parameter=parameter,
-                    value=float(value),
-                    metrics=metrics,
+                    value=float(point.value),
+                    metrics=run.metrics,
                 )
             )
     return result

@@ -34,6 +34,12 @@ instead of rerunning Dijkstra.
 """
 
 from .base import CacheInfo, DistanceOracle, OracleStats
+from .cache import (
+    ch_cache_path,
+    graph_signature,
+    load_ch_preprocessing,
+    save_ch_preprocessing,
+)
 from .ch import CHOracle
 from .landmark import LandmarkOracle
 from .lazy import LazyDijkstraOracle
@@ -49,6 +55,10 @@ from .registry import (
 __all__ = [
     "CacheInfo",
     "CHOracle",
+    "ch_cache_path",
+    "graph_signature",
+    "load_ch_preprocessing",
+    "save_ch_preprocessing",
     "DistanceOracle",
     "OracleStats",
     "LazyDijkstraOracle",

@@ -1,0 +1,120 @@
+"""Disk persistence of contraction-hierarchy preprocessing.
+
+Contracting a city-scale graph is the dominant cost of standing up the
+``ch`` backend (~0.8 s on the 1024-node benchmark city, minutes on real
+map extracts).  The contraction itself depends only on the graph and on
+the witness hop limit, so its products — the node order and the
+shortcut edges — can be computed once and replayed by every later
+process that works on the same graph.
+
+This module provides that persistence layer:
+
+* :func:`graph_signature` — a stable content hash of a directed graph
+  (sorted nodes plus sorted ``(u, v, travel_time)`` edge triples), used
+  both as the cache key and as the integrity check on load;
+* :func:`save_ch_preprocessing` / :func:`load_ch_preprocessing` — JSON
+  round-trip of :meth:`CHOracle.export_preprocessing` payloads, keyed
+  by ``(graph signature, witness hop limit)``.  Loading is strictly
+  validating: a payload written for a different graph, a different hop
+  limit, an older format, or a corrupted file simply yields ``None``
+  and the caller re-contracts from scratch — the cache can never make
+  an answer wrong, only a build fast.
+
+The registry's ``ch`` factory wires this up behind the ``cache_dir``
+option (``SimulationConfig.oracle_cache_dir`` / ``--oracle-cache``), so
+a warm cache directory makes a fresh process skip preprocessing
+entirely: the ROADMAP's "persist the contraction order" item.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+import networkx as nx
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .ch import CHOracle
+
+#: Payload layout version; bump when ``export_preprocessing`` changes
+#: shape so stale files are rebuilt instead of misread.
+CH_CACHE_FORMAT = 1
+
+
+def graph_signature(graph: nx.DiGraph) -> str:
+    """Stable content hash of a travel-time-weighted directed graph.
+
+    Two graphs share a signature exactly when they have the same node
+    ids and the same directed edges with the same ``travel_time``
+    weights (full float precision via ``repr``).  Node coordinates are
+    deliberately excluded: they never influence shortest-path answers,
+    so cosmetic relayouts keep the cache warm.
+    """
+    hasher = hashlib.sha256()
+    for node in sorted(graph.nodes):
+        hasher.update(f"n{node!r}\n".encode())
+    edges = sorted(
+        (u, v, float(data)) for u, v, data in graph.edges(data="travel_time")
+    )
+    for u, v, weight in edges:
+        hasher.update(f"e{u!r}>{v!r}:{weight!r}\n".encode())
+    return hasher.hexdigest()
+
+
+def ch_cache_path(
+    cache_dir: str | Path, graph: nx.DiGraph, witness_hop_limit: int
+) -> Path:
+    """Cache-file location for ``graph`` contracted at ``witness_hop_limit``."""
+    signature = graph_signature(graph)
+    return Path(cache_dir) / f"ch-{signature[:24]}-w{witness_hop_limit}.json"
+
+
+def load_ch_preprocessing(
+    path: str | Path, graph: nx.DiGraph, witness_hop_limit: int
+) -> Mapping[str, Any] | None:
+    """Read a persisted preprocessing payload, or ``None`` when unusable.
+
+    ``None`` covers every miss uniformly — no file, unreadable JSON, a
+    different format version, a different hop limit, or a signature
+    mismatch (the file was written for another graph).  Callers treat
+    ``None`` as "contract from scratch".
+    """
+    file_path = Path(path)
+    try:
+        payload = json.loads(file_path.read_text())
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("format") != CH_CACHE_FORMAT:
+        return None
+    if payload.get("witness_hop_limit") != witness_hop_limit:
+        return None
+    if payload.get("graph") != graph_signature(graph):
+        return None
+    data = payload.get("data")
+    return data if isinstance(data, dict) else None
+
+
+def save_ch_preprocessing(
+    path: str | Path, oracle: "CHOracle", graph: nx.DiGraph
+) -> Path:
+    """Persist ``oracle``'s contraction products for ``graph`` at ``path``.
+
+    The write is atomic (temp file + rename) so a crashed process never
+    leaves a half-written payload a later load would have to distrust.
+    """
+    file_path = Path(path)
+    file_path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": CH_CACHE_FORMAT,
+        "graph": graph_signature(graph),
+        "witness_hop_limit": oracle.witness_hop_limit,
+        "data": oracle.export_preprocessing(),
+    }
+    scratch = file_path.with_name(file_path.name + ".tmp")
+    scratch.write_text(json.dumps(payload))
+    scratch.replace(file_path)
+    return file_path

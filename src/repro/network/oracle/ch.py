@@ -142,6 +142,14 @@ class CHOracle(DistanceOracle):
     seed:
         Unused today (contraction order is deterministic) but accepted
         so configs can thread their seed through uniformly.
+    preprocessing:
+        A payload previously produced by :meth:`export_preprocessing`
+        (typically loaded from disk by
+        :mod:`repro.network.oracle.cache`).  When given, the expensive
+        contraction pass is skipped entirely and the hierarchy is
+        restored from the recorded node order and augmented edges.  A
+        payload that does not match this graph's node set raises
+        ``ValueError``.
     """
 
     name = "ch"
@@ -159,6 +167,7 @@ class CHOracle(DistanceOracle):
         bucket_cache_size: int | None = DEFAULT_BUCKET_CACHE_SIZE,
         arrival_cache_size: int | None = DEFAULT_ARRIVAL_CACHE_SIZE,
         seed: int = 0,
+        preprocessing: Mapping | None = None,
     ) -> None:
         super().__init__(graph)
         if witness_hop_limit < 1:
@@ -190,8 +199,23 @@ class CHOracle(DistanceOracle):
         self._index: dict[int, int] = {
             node: idx for idx, node in enumerate(self._nodes)
         }
-        self._build()
+        self._loaded_from_cache = False
+        if preprocessing is not None:
+            self._restore(preprocessing)
+            self._loaded_from_cache = True
+        else:
+            self._build()
         self._precompute_seconds = time.perf_counter() - started
+
+    @property
+    def preprocessing_loaded(self) -> bool:
+        """Whether the hierarchy was restored from a persisted payload."""
+        return self._loaded_from_cache
+
+    @property
+    def precompute_seconds(self) -> float:
+        """Wall-clock cost of building (or restoring) the hierarchy."""
+        return self._precompute_seconds
 
     # ------------------------------------------------------------------
     # preprocessing: contraction
@@ -268,6 +292,17 @@ class CHOracle(DistanceOracle):
             fwd[v] = {}
             bwd[v] = {}
 
+        self._finalise(rank, order, aug, middle)
+
+    def _finalise(
+        self,
+        rank: list[int],
+        order: list[int],
+        aug: dict[tuple[int, int], float],
+        middle: dict[tuple[int, int], int | None],
+    ) -> None:
+        """Index the augmented graph for querying (shared by build/restore)."""
+        n = len(self._nodes)
         self._rank = rank
         #: Node indices in decreasing rank order (the PHAST sweep order).
         self._order_desc = order[::-1]
@@ -289,6 +324,87 @@ class CHOracle(DistanceOracle):
             else:
                 self._down_out[ui].append((vi, w))
                 self._down_in[vi].append((ui, w))
+
+    # ------------------------------------------------------------------
+    # preprocessing persistence
+    # ------------------------------------------------------------------
+    @_locked
+    def export_preprocessing(self) -> dict:
+        """JSON-able snapshot of the contraction products.
+
+        The payload carries everything :meth:`_restore` needs to stand
+        the hierarchy back up without re-contracting: the node ids in
+        contraction (rank) order, and every augmented edge as ``[u, v,
+        weight, middle]`` (``middle`` is ``None`` for original edges,
+        the contracted middle node id for shortcuts — kept so restored
+        oracles can still unpack paths).
+        """
+        n = len(self._nodes)
+        order_ids = [0] * n
+        for idx, r in enumerate(self._rank):
+            order_ids[r] = self._nodes[idx]
+        edges: list[list] = []
+        for ui in range(n):
+            u = self._nodes[ui]
+            for adjacency in (self._up_out[ui], self._down_out[ui]):
+                for vi, w in adjacency:
+                    mid = self._middle.get((ui, vi))
+                    edges.append(
+                        [u, self._nodes[vi], w, None if mid is None else self._nodes[mid]]
+                    )
+        return {"order": order_ids, "edges": edges}
+
+    def _restore(self, payload: Mapping) -> None:
+        """Rebuild the hierarchy from an :meth:`export_preprocessing` payload.
+
+        Linear in the augmented graph — the witness searches and the
+        priority-queue ordering, i.e. everything expensive about
+        contraction, are skipped.  Raises ``ValueError`` when the
+        payload does not cover exactly this graph's node set.
+        """
+        n = len(self._nodes)
+        order_ids = payload.get("order")
+        edge_rows = payload.get("edges")
+        if not isinstance(order_ids, list) or not isinstance(edge_rows, list):
+            raise ValueError("malformed CH preprocessing payload")
+        try:
+            # The order must be a true permutation of this graph's nodes
+            # — duplicates would produce a non-permutation rank array
+            # and silently wrong up/down edge classification.
+            order_valid = (
+                len(order_ids) == n
+                and len(set(order_ids)) == n
+                and all(node in self._index for node in order_ids)
+            )
+        except TypeError:
+            order_valid = False
+        if not order_valid:
+            raise ValueError("CH preprocessing does not match this graph")
+        rank = [0] * n
+        order: list[int] = []
+        for r, node in enumerate(order_ids):
+            idx = self._index[node]
+            rank[idx] = r
+            order.append(idx)
+        aug: dict[tuple[int, int], float] = {}
+        middle: dict[tuple[int, int], int | None] = {}
+        shortcuts = 0
+        try:
+            for u, v, weight, mid in edge_rows:
+                key = (self._index[u], self._index[v])
+                aug[key] = float(weight)
+                if mid is None:
+                    middle[key] = None
+                else:
+                    middle[key] = self._index[mid]
+                    shortcuts += 1
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                "CH preprocessing payload references unknown nodes or "
+                "malformed edges"
+            ) from exc
+        self._shortcuts_added = shortcuts
+        self._finalise(rank, order, aug, middle)
 
     def _shortcuts_for(
         self,
@@ -627,6 +743,7 @@ class CHOracle(DistanceOracle):
             "bucket_scans": float(self._bucket_scans),
             "bucket_cached_targets": float(len(self._bucket_cache)),
             "arrival_cached_targets": float(len(self._arrival_cache)),
+            "preprocessing_from_cache": float(self._loaded_from_cache),
         }
 
     # ------------------------------------------------------------------

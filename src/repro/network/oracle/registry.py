@@ -32,7 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover
 #: must tolerate the uniform option names produced by
 #: :func:`configure_oracle` (``nodes``, ``cache_size``,
 #: ``reverse_cache_size``, ``num_landmarks``, ``witness_hop_limit``,
-#: ``seed``) and ignore the ones they do not use.
+#: ``cache_dir``, ``seed``) and ignore the ones they do not use.
 OracleFactory = Callable[..., DistanceOracle]
 
 
@@ -57,14 +57,31 @@ def _make_matrix(graph: nx.DiGraph, **options) -> MatrixOracle:
 
 
 def _make_ch(graph: nx.DiGraph, **options) -> CHOracle:
-    return CHOracle(
-        graph,
-        witness_hop_limit=options.get(
-            "witness_hop_limit", DEFAULT_WITNESS_HOP_LIMIT
-        ),
+    hop_limit = options.get("witness_hop_limit", DEFAULT_WITNESS_HOP_LIMIT)
+    kwargs = dict(
+        witness_hop_limit=hop_limit,
         bucket_cache_size=options.get("cache_size", DEFAULT_BUCKET_CACHE_SIZE),
         seed=options.get("seed", 0),
     )
+    cache_dir = options.get("cache_dir")
+    if not cache_dir:
+        return CHOracle(graph, **kwargs)
+    # Disk-backed preprocessing: a warm cache directory lets this (and
+    # every later) process skip the contraction pass entirely.  A stale
+    # or corrupted payload loads as None / raises ValueError, in which
+    # case the graph is contracted from scratch and the file rewritten.
+    from .cache import ch_cache_path, load_ch_preprocessing, save_ch_preprocessing
+
+    path = ch_cache_path(cache_dir, graph, hop_limit)
+    preprocessing = load_ch_preprocessing(path, graph, hop_limit)
+    if preprocessing is not None:
+        try:
+            return CHOracle(graph, preprocessing=preprocessing, **kwargs)
+        except ValueError:
+            pass
+    oracle = CHOracle(graph, **kwargs)
+    save_ch_preprocessing(path, oracle, graph)
+    return oracle
 
 
 ORACLE_BACKENDS: dict[str, OracleFactory] = {
@@ -96,6 +113,7 @@ def create_oracle(
     reverse_cache_size: int | None = None,
     num_landmarks: int | None = None,
     witness_hop_limit: int | None = None,
+    cache_dir: str | None = None,
     seed: int = 0,
 ) -> DistanceOracle:
     """Instantiate a registered backend over ``graph``.
@@ -105,7 +123,10 @@ def create_oracle(
     about ``num_landmarks``).  ``reverse_cache_size`` bounds the lazy
     backend's per-target reverse distance-map cache (defaults to
     ``cache_size``); ``witness_hop_limit`` caps the witness searches of
-    the contraction-hierarchy backend's preprocessing.
+    the contraction-hierarchy backend's preprocessing; ``cache_dir``
+    points the ``ch`` backend at an on-disk preprocessing cache keyed by
+    a stable graph hash (see :mod:`repro.network.oracle.cache`), so warm
+    directories skip the contraction pass.
     """
     try:
         factory = ORACLE_BACKENDS[name]
@@ -122,6 +143,8 @@ def create_oracle(
         options["num_landmarks"] = num_landmarks
     if witness_hop_limit is not None:
         options["witness_hop_limit"] = witness_hop_limit
+    if cache_dir is not None:
+        options["cache_dir"] = cache_dir
     return factory(graph, **options)
 
 
@@ -164,6 +187,7 @@ def configure_oracle(
         cache_size=config.oracle_cache_size,
         num_landmarks=config.oracle_landmarks,
         witness_hop_limit=config.oracle_witness_hops,
+        cache_dir=config.oracle_cache_dir,
         seed=config.seed,
     )
     network.set_oracle(oracle)

@@ -3,6 +3,7 @@
 from .fleet import WorkerFleet, Assignment
 from .spatial import WorkerSpatialIndex
 from .dispatcher import Dispatcher, ServedOrder, DispatchResult, served_orders_from_group
+from .hooks import SimulationHooks
 from .metrics import MetricsCollector, SimulationMetrics
 from .engine import Simulator, SimulationResult
 from .parallel import (
@@ -22,6 +23,7 @@ __all__ = [
     "DispatchResult",
     "served_orders_from_group",
     "MetricsCollector",
+    "SimulationHooks",
     "SimulationMetrics",
     "Simulator",
     "SimulationResult",

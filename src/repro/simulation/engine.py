@@ -20,6 +20,7 @@ from ..config import SimulationConfig
 from ..datasets.synthetic import Workload
 from ..network.oracle import configure_oracle
 from .dispatcher import Dispatcher, DispatchResult
+from .hooks import SimulationHooks
 from .metrics import MetricsCollector, SimulationMetrics
 from .parallel import ParallelDispatchEngine
 
@@ -49,6 +50,11 @@ class Simulator:
         The algorithm under test.
     config:
         Simulation parameters (check period, metric weights, ...).
+    hooks:
+        Optional :class:`SimulationHooks` observer notified of order
+        arrivals, periodic checks and final assignments.  Hook calls
+        run outside the algorithm timer, so a slow observer never
+        distorts the Running Time metric.
     """
 
     def __init__(
@@ -56,10 +62,12 @@ class Simulator:
         workload: Workload,
         dispatcher: Dispatcher,
         config: SimulationConfig,
+        hooks: SimulationHooks | None = None,
     ) -> None:
         self._workload = workload
         self._dispatcher = dispatcher
         self._config = config
+        self._hooks = hooks
         # The config names the distance-oracle backend; attach it here so
         # every entry point (run_simulation, direct Simulator use, the
         # experiment runner) honours it.  A matching oracle that is
@@ -144,6 +152,8 @@ class Simulator:
             while next_check <= release:
                 algorithm_time += self._timed_tick(next_check)
                 next_check += check_period
+            if self._hooks is not None:
+                self._hooks.on_order_arrival(order, release)
             started = time.perf_counter()
             result = self._dispatcher.submit(order, release)
             algorithm_time += time.perf_counter() - started
@@ -176,12 +186,16 @@ class Simulator:
         started = time.perf_counter()
         result = self._dispatcher.tick(now)
         elapsed = time.perf_counter() - started
+        if self._hooks is not None:
+            self._hooks.on_periodic_check(now)
         self._record(result)
         return elapsed
 
     def _record(self, result: DispatchResult) -> None:
         for served in result.served:
             self._collector.record_served(served)
+            if self._hooks is not None:
+                self._hooks.on_assign(served)
         for order in result.rejected:
             self._collector.record_rejected(order)
 
@@ -222,7 +236,10 @@ class Simulator:
 
 
 def run_simulation(
-    workload: Workload, dispatcher: Dispatcher, config: SimulationConfig
+    workload: Workload,
+    dispatcher: Dispatcher,
+    config: SimulationConfig,
+    hooks: SimulationHooks | None = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`Simulator`."""
-    return Simulator(workload, dispatcher, config).run()
+    return Simulator(workload, dispatcher, config, hooks=hooks).run()

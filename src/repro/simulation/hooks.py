@@ -1,0 +1,44 @@
+"""Event-hook protocol for streaming simulation state to consumers.
+
+Downstream code often wants to *watch* a run — collect per-order
+traces, feed dashboards, drive custom accounting — without forking the
+engine loop.  :class:`SimulationHooks` is the seam for that: subclass
+it, override the events you care about, and pass the instance to
+:class:`~repro.simulation.engine.Simulator` (or, at the facade level,
+to ``repro.api.Session.run(spec, hooks=...)``).
+
+Every method is a no-op by default, so subclasses only implement what
+they need.  Hooks fire *outside* the engine's algorithm timer — a slow
+hook inflates wall-clock but never the reported Running Time metric —
+and they must not mutate the orders, workers or dispatcher state they
+are shown.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..model.order import Order
+    from .dispatcher import ServedOrder
+
+
+class SimulationHooks:
+    """Observer interface for the engine's three structural events.
+
+    The engine guarantees the ordering a consumer would expect from
+    Algorithm 1: ``on_periodic_check`` fires for every asynchronous
+    pool check (after the dispatcher's tick ran), ``on_order_arrival``
+    fires for every order immediately before it is submitted, and
+    ``on_assign`` fires once per served order as soon as its assignment
+    is final (whether that happened during a submit or a check).
+    """
+
+    def on_order_arrival(self, order: "Order", now: float) -> None:
+        """An order was released and is about to be submitted."""
+
+    def on_periodic_check(self, now: float) -> None:
+        """The asynchronous pool check at time ``now`` just ran."""
+
+    def on_assign(self, served: "ServedOrder") -> None:
+        """An order's assignment became final (it will be served)."""

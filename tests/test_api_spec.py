@@ -1,0 +1,245 @@
+"""Tests for the declarative scenario spec: round-trip, validation, CLI parity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import ScenarioSpec, load_spec, save_spec
+from repro.cli import _config_from_args, build_parser
+from repro.config import ExtraTimeWeights, SimulationConfig
+from repro.exceptions import ConfigurationError
+from repro.experiments.config import default_config
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            ScenarioSpec(),
+            ScenarioSpec(dataset="NYC", num_orders=50, num_workers=10, seed=11),
+            ScenarioSpec(
+                name="full",
+                dataset="XIA",
+                algorithm="WATTER-expect",
+                use_rl=True,
+                num_orders=40,
+                num_workers=8,
+                horizon=1200.0,
+                seed=5,
+                deadline_scale=1.8,
+                watch_window_scale=0.6,
+                max_capacity=3,
+                check_period=5.0,
+                time_slot=5.0,
+                grid_size=6,
+                penalty_factor=8.0,
+                max_group_size=3,
+                alpha=2.0,
+                beta=0.5,
+                oracle_backend="ch",
+                oracle_cache_size=256,
+                oracle_landmarks=4,
+                oracle_witness_hops=3,
+                oracle_cache_dir="/tmp/oracle-cache",
+                dispatch_workers=2,
+                dispatch_mode="thread",
+            ),
+            ScenarioSpec(
+                network="grid",
+                grid_rows=8,
+                grid_cols=9,
+                grid_edge_travel_time=55.0,
+                grid_jitter=0.1,
+                num_orders=20,
+                num_workers=4,
+            ),
+        ],
+        ids=("default", "dataset", "full", "grid"),
+    )
+    def test_dict_round_trip(self, spec):
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_csv_round_trip(self):
+        spec = ScenarioSpec(
+            network="grid",
+            workload="csv",
+            orders_csv="orders.csv",
+            workers_csv="workers.csv",
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_omits_unset_fields(self):
+        data = ScenarioSpec().to_dict()
+        assert "num_orders" not in data
+        assert "oracle_backend" not in data
+        assert data["network"] == "dataset"
+
+    def test_to_dict_is_json_serializable(self):
+        spec = ScenarioSpec(num_orders=30, horizon=900.0, alpha=1.5)
+        rebuilt = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+
+    def test_numeric_normalisation_survives_round_trip(self):
+        # ints in float-typed fields are coerced at construction, so
+        # JSON (which may render 1800.0 as 1800) still round-trips.
+        spec = ScenarioSpec(horizon=1800, grid_jitter=0)
+        assert isinstance(spec.horizon, float)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_spec_file_round_trip(self, tmp_path):
+        spec = ScenarioSpec(name="file", num_orders=25, oracle_backend="matrix")
+        path = save_spec(spec, tmp_path / "scenario.json")
+        assert load_spec(path) == spec
+
+
+class TestValidation:
+    def test_unknown_key_is_named(self):
+        with pytest.raises(ConfigurationError, match="number_of_orders"):
+            ScenarioSpec.from_dict({"number_of_orders": 10})
+
+    def test_non_mapping_document_rejected(self):
+        with pytest.raises(ConfigurationError, match="mapping"):
+            ScenarioSpec.from_dict([("num_orders", 10)])
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"network": "hexagons"}, "network"),
+            ({"workload": "parquet"}, "workload"),
+            ({"dataset": "LONDON"}, "dataset"),
+            ({"algorithm": "FancyAlgo"}, "algorithm"),
+            ({"workload": "csv"}, "orders_csv"),
+            ({"orders_csv": "x.csv"}, "workload='csv'"),
+            ({"num_orders": "many"}, "num_orders"),
+            ({"num_orders": 0}, "num_orders"),
+            ({"horizon": "long"}, "horizon"),
+            ({"use_rl": "yes"}, "use_rl"),
+            ({"deadline_scale": 0.5}, "deadline_scale"),
+            ({"oracle_backend": "teleport"}, "oracle"),
+            ({"dispatch_mode": "fiber"}, "dispatch_mode"),
+            ({"network": "grid", "grid_rows": 1}, "lattice"),
+            ({"network": "grid", "grid_jitter": 1.5}, "grid_jitter"),
+        ],
+    )
+    def test_invalid_values_raise_precise_errors(self, kwargs, match):
+        with pytest.raises(ConfigurationError, match=match):
+            ScenarioSpec(**kwargs)
+
+    def test_with_overrides_rejects_unknown_field(self):
+        with pytest.raises(ConfigurationError, match="orderz"):
+            ScenarioSpec().with_overrides(orderz=5)
+
+    def test_normalisation(self):
+        spec = ScenarioSpec(dataset="cdc", algorithm="watter-EXPECT")
+        assert spec.dataset == "CDC"
+        assert spec.algorithm == "WATTER-expect"
+
+
+class TestResolution:
+    def test_defaults_resolve_to_dataset_defaults(self):
+        assert ScenarioSpec(dataset="CDC").config() == default_config("CDC")
+        assert ScenarioSpec(dataset="NYC").config() == default_config("NYC")
+
+    def test_overrides_reach_the_config(self):
+        spec = ScenarioSpec(
+            num_orders=33,
+            oracle_backend="matrix",
+            dispatch_workers=2,
+            oracle_cache_dir="/tmp/cache",
+            alpha=2.0,
+        )
+        config = spec.config()
+        assert config.num_orders == 33
+        assert config.oracle_backend == "matrix"
+        assert config.dispatch_workers == 2
+        assert config.oracle_cache_dir == "/tmp/cache"
+        assert config.weights == ExtraTimeWeights(alpha=2.0, beta=1.0)
+
+    def test_grid_network_uses_class_defaults(self):
+        config = ScenarioSpec(network="grid").config()
+        assert config == SimulationConfig()
+
+    @pytest.mark.parametrize(
+        "dataset, config",
+        [
+            ("CDC", default_config("CDC")),
+            (
+                "NYC",
+                default_config(
+                    "NYC",
+                    num_orders=40,
+                    num_workers=9,
+                    oracle_backend="ch",
+                    oracle_witness_hops=3,
+                    dispatch_workers=2,
+                    dispatch_mode="process",
+                    weights=ExtraTimeWeights(alpha=0.5, beta=2.0),
+                    oracle_cache_dir="/tmp/x",
+                ),
+            ),
+        ],
+        ids=("defaults", "overridden"),
+    )
+    def test_from_config_is_lossless(self, dataset, config):
+        spec = ScenarioSpec.from_config(dataset, config)
+        assert spec.config() == config
+        # and it still round-trips as a document
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestCliParity:
+    """`_config_from_args` and `ScenarioSpec.from_args` must agree exactly."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["compare"],
+            ["compare", "--dataset", "NYC", "--orders", "50", "--workers", "10"],
+            [
+                "compare",
+                "--dataset",
+                "XIA",
+                "--seed",
+                "3",
+                "--horizon",
+                "1200",
+                "--oracle",
+                "ch",
+                "--oracle-cache",
+                "/tmp/oracle-cache",
+                "--dispatch-workers",
+                "2",
+                "--dispatch-mode",
+                "thread",
+            ],
+            ["bench", "--dataset", "CDC", "--orders", "40", "--oracle", "matrix"],
+            ["sweep", "--dataset", "CDC", "--workers", "8"],
+        ],
+    )
+    def test_spec_matches_legacy_config_assembly(self, argv):
+        args = build_parser().parse_args(argv)
+        assert ScenarioSpec.from_args(args).config() == _config_from_args(args)
+
+    def test_oracle_cache_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["compare", "--oracle-cache", "/tmp/oracle-cache"]
+        )
+        assert _config_from_args(args).oracle_cache_dir == "/tmp/oracle-cache"
+
+
+class TestIdentity:
+    def test_describe_prefers_the_name(self):
+        assert ScenarioSpec(name="rush").describe() == "rush"
+        assert "CDC" in ScenarioSpec().describe()
+        assert "grid" in ScenarioSpec(network="grid").describe()
+
+    def test_identity_is_self_describing(self):
+        identity = ScenarioSpec(
+            dataset="NYC", oracle_backend="ch", seed=4, num_orders=30
+        ).identity()
+        assert identity["dataset"] == "NYC"
+        assert identity["oracle_backend"] == "ch"
+        assert identity["seed"] == 4
+        assert identity["num_orders"] == 30

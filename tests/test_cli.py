@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import ScenarioSpec, save_spec
 from repro.cli import build_parser, main
 
 
@@ -65,3 +66,48 @@ class TestMain:
         assert exit_code == 0
         assert "Example 1" in captured
         assert "WATTER-timeout (pooling)" in captured
+
+    def test_compare_output_is_self_describing(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--dataset",
+                "CDC",
+                "--orders",
+                "20",
+                "--workers",
+                "5",
+                "--horizon",
+                "900",
+                "--seed",
+                "4",
+                "--oracle",
+                "matrix",
+                "--algorithms",
+                "NonSharing",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "scenario:" in captured
+        assert "oracle=matrix" in captured
+        assert "seed=4" in captured
+        assert "graph=" in captured
+
+    def test_run_command_executes_a_spec_file(self, capsys, tmp_path):
+        spec = ScenarioSpec(
+            name="cli-spec",
+            dataset="CDC",
+            num_orders=20,
+            num_workers=5,
+            horizon=900.0,
+            seed=3,
+            algorithm="NonSharing",
+        )
+        path = save_spec(spec, tmp_path / "scenario.json")
+        exit_code = main(["run", "--spec", str(path)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "cli-spec" in captured
+        assert "NonSharing" in captured
+        assert "scenario:" in captured
