@@ -53,7 +53,7 @@ from ..learning.trainer import ValueFunctionTrainer, generate_experience
 from ..network.generators import grid_city, manhattan_like_city, radial_city
 from ..network.grid import GridIndex
 from ..network.oracle import available_backends, graph_signature
-from ..simulation.hooks import SimulationHooks
+from ..simulation.hooks import CompositeHooks, SimulationHooks
 from .facade import SweepPoint, compare, load_spec, run_scenario, save_spec, sweep
 from .session import RunResult, Session
 from .spec import NETWORK_SOURCES, WORKLOAD_SOURCES, ScenarioSpec
@@ -64,6 +64,7 @@ __all__ = [
     "Session",
     "RunResult",
     "SimulationHooks",
+    "CompositeHooks",
     "SweepPoint",
     "run_scenario",
     "compare",

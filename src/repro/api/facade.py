@@ -30,9 +30,26 @@ def run_scenario(
     *,
     hooks: SimulationHooks | None = None,
     session: Session | None = None,
+    trace_path: str | Path | None = None,
 ) -> RunResult:
-    """Execute one scenario (``spec.algorithm``) and return its result."""
-    return (session or Session()).run(spec, hooks=hooks)
+    """Execute one scenario (``spec.algorithm``) and return its result.
+
+    ``trace_path`` streams the run's events — the run-start spec echo,
+    every arrival/check/assignment, and the run-end summary — to a
+    JSONL file through :class:`repro.serve.sinks.JsonlSink`, alongside
+    any ``hooks`` the caller passes; it is the one-call version of the
+    trace files the serving layer writes per run.
+    """
+    if trace_path is None:
+        return (session or Session()).run(spec, hooks=hooks)
+    from ..serve.sinks import JsonlSink
+    from ..simulation.hooks import CompositeHooks
+
+    with JsonlSink(trace_path) as sink:
+        combined: SimulationHooks = (
+            sink if hooks is None else CompositeHooks([hooks, sink])
+        )
+        return (session or Session()).run(spec, hooks=combined)
 
 
 def compare(

@@ -28,6 +28,7 @@ observer for streaming state out of the engine.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -111,6 +112,17 @@ class RunResult:
 class Session:
     """Prepares networks and oracles once, then runs many scenarios.
 
+    Preparation is thread-safe: every memoisation cache and the oracle
+    attach sit behind one session lock, so concurrent ``prepare``/
+    ``run`` calls (the ``repro.serve`` executor submits them from a
+    thread pool) build each network, workload and oracle exactly once.
+    The simulations themselves execute outside the lock; note that two
+    *simultaneous* runs over the same network share one oracle, whose
+    backends are not generally safe under concurrent queries — the
+    serving layer serialises those through its cross-request batcher
+    (:mod:`repro.serve.batcher`), and direct users should either do
+    the same or keep concurrent runs on distinct networks.
+
     Parameters
     ----------
     oracle_cache_dir:
@@ -128,8 +140,17 @@ class Session:
         self._workloads: OrderedDict[tuple, Workload] = OrderedDict()
         self._providers: dict[tuple, ThresholdProvider] = {}
         self._graph_hashes: dict[RoadNetwork, str] = {}
+        # One reentrant lock guards every memoisation dict *and* the
+        # oracle attach, so concurrent ``prepare``/``run`` calls (the
+        # repro.serve layer submits them from a thread pool) build each
+        # network, workload, provider and oracle exactly once — the
+        # second caller blocks until the first finished building and
+        # then reuses the cached object.  Preparation is serialised;
+        # the simulations themselves run outside the lock.
+        self._lock = threading.RLock()
         #: How many times a run actually (re)built an oracle — two runs
-        #: over one network with the same oracle settings count once.
+        #: over one network with the same oracle settings count once
+        #: (asserted by the concurrency tests and the serve pool).
         self.oracle_builds = 0
 
     # ------------------------------------------------------------------
@@ -175,22 +196,45 @@ class Session:
                 spec, workload=workload if custom_workload else None
             )
         prepare_seconds = time.perf_counter() - started
+        graph_hash = self.graph_hash(workload.network)
+        if hooks is not None:
+            hooks.on_run_start(
+                {
+                    "spec": spec.to_dict(),
+                    "scenario": spec.describe(),
+                    "algorithm": spec.algorithm,
+                    "graph_hash": graph_hash,
+                }
+            )
         run_started = time.perf_counter()
         dispatcher = make_dispatcher(spec.algorithm, workload, config, provider)
         result = Simulator(workload, dispatcher, config, hooks=hooks).run()
         run_seconds = time.perf_counter() - run_started
-        return RunResult(
+        timings = {
+            "prepare_seconds": prepare_seconds,
+            "run_seconds": run_seconds,
+            "total_seconds": prepare_seconds + run_seconds,
+        }
+        run_result = RunResult(
             spec=spec,
             algorithm=spec.algorithm,
             metrics=result.metrics,
             outcomes=tuple(result.collector.outcomes),
-            timings={
-                "prepare_seconds": prepare_seconds,
-                "run_seconds": run_seconds,
-                "total_seconds": prepare_seconds + run_seconds,
-            },
-            graph_hash=self.graph_hash(workload.network),
+            timings=timings,
+            graph_hash=graph_hash,
         )
+        if hooks is not None:
+            hooks.on_run_end(
+                {
+                    "spec": spec.to_dict(),
+                    "scenario": spec.describe(),
+                    "algorithm": spec.algorithm,
+                    "graph_hash": graph_hash,
+                    "timings": dict(timings),
+                    "metrics": run_result.metrics.summary_row(),
+                }
+            )
+        return run_result
 
     def compare(
         self,
@@ -239,15 +283,16 @@ class Session:
         spec = self._effective(spec)
         config = spec.config()
         key = self._workload_key(spec, config)
-        cached = self._workloads.get(key)
-        if cached is not None:
-            self._workloads.move_to_end(key)
-            return cached
-        workload = self._build_workload(spec, config)
-        self._workloads[key] = workload
-        if len(self._workloads) > _WORKLOAD_CACHE_SIZE:
-            self._workloads.popitem(last=False)
-        return workload
+        with self._lock:
+            cached = self._workloads.get(key)
+            if cached is not None:
+                self._workloads.move_to_end(key)
+                return cached
+            workload = self._build_workload(spec, config)
+            self._workloads[key] = workload
+            if len(self._workloads) > _WORKLOAD_CACHE_SIZE:
+                self._workloads.popitem(last=False)
+            return workload
 
     def prepare(self, spec: ScenarioSpec) -> Workload:
         """Stand the scenario's workload and oracle up without running it."""
@@ -292,9 +337,16 @@ class Session:
                 use_rl=spec.use_rl,
             )
         key = self._provider_key(spec, config)
-        cached = self._providers.get(key)
-        if cached is not None:
-            return cached
+        with self._lock:
+            cached = self._providers.get(key)
+            if cached is not None:
+                return cached
+            return self._build_provider(spec, config, key)
+
+    def _build_provider(
+        self, spec: ScenarioSpec, config: SimulationConfig, key: tuple
+    ) -> ThresholdProvider:
+        """Bootstrap + memoise a provider (caller holds the session lock)."""
 
         def workload_for(training_config: SimulationConfig) -> Workload:
             training_spec = spec.with_overrides(
@@ -316,11 +368,12 @@ class Session:
 
     def graph_hash(self, network: RoadNetwork) -> str:
         """Stable content hash of a network's graph (memoised per object)."""
-        cached = self._graph_hashes.get(network)
-        if cached is None:
-            cached = graph_signature(network.graph)
-            self._graph_hashes[network] = cached
-        return cached
+        with self._lock:
+            cached = self._graph_hashes.get(network)
+            if cached is None:
+                cached = graph_signature(network.graph)
+                self._graph_hashes[network] = cached
+            return cached
 
     # ------------------------------------------------------------------
     # internals
@@ -332,12 +385,13 @@ class Session:
         return spec
 
     def _attach_oracle(self, workload: Workload, config: SimulationConfig) -> None:
-        before = workload.network.oracle
-        oracle = configure_oracle(
-            workload.network, config, nodes=workload.active_nodes(), reuse=True
-        )
-        if oracle is not before:
-            self.oracle_builds += 1
+        with self._lock:
+            before = workload.network.oracle
+            oracle = configure_oracle(
+                workload.network, config, nodes=workload.active_nodes(), reuse=True
+            )
+            if oracle is not before:
+                self.oracle_builds += 1
 
     def _network_key(self, spec: ScenarioSpec, config: SimulationConfig) -> tuple:
         if spec.network == "dataset":
@@ -367,32 +421,34 @@ class Session:
         self, spec: ScenarioSpec, config: SimulationConfig
     ) -> RoadNetwork:
         key = self._network_key(spec, config)
-        network = self._networks.get(key)
-        if network is not None:
+        with self._lock:
+            network = self._networks.get(key)
+            if network is not None:
+                return network
+            if spec.network == "dataset":
+                city = city_by_name(spec.dataset, seed=config.seed)
+                self._cities[key] = city
+                network = city.network
+            else:
+                network = grid_city(
+                    rows=spec.grid_rows,
+                    cols=spec.grid_cols,
+                    edge_travel_time=spec.grid_edge_travel_time,
+                    jitter=spec.grid_jitter,
+                    seed=config.seed,
+                )
+            self._networks[key] = network
             return network
-        if spec.network == "dataset":
-            city = city_by_name(spec.dataset, seed=config.seed)
-            self._cities[key] = city
-            network = city.network
-        else:
-            network = grid_city(
-                rows=spec.grid_rows,
-                cols=spec.grid_cols,
-                edge_travel_time=spec.grid_edge_travel_time,
-                jitter=spec.grid_jitter,
-                seed=config.seed,
-            )
-        self._networks[key] = network
-        return network
 
     def _city_for(self, spec: ScenarioSpec, config: SimulationConfig) -> CityModel:
         key = self._network_key(spec, config)
-        network = self._network_for(spec, config)
-        city = self._cities.get(key)
-        if city is None:
-            city = _grid_city_model(spec, network)
-            self._cities[key] = city
-        return city
+        with self._lock:
+            network = self._network_for(spec, config)
+            city = self._cities.get(key)
+            if city is None:
+                city = _grid_city_model(spec, network)
+                self._cities[key] = city
+            return city
 
     def _build_workload(
         self, spec: ScenarioSpec, config: SimulationConfig

@@ -1,6 +1,6 @@
 """Command-line interface for running WATTER experiments.
 
-Five subcommands cover the common workflows:
+Six subcommands cover the common workflows:
 
 * ``compare`` — run several algorithms over one generated workload and
   print the comparison table (the Table III default experiment),
@@ -10,7 +10,11 @@ Five subcommands cover the common workflows:
   workers, deadline or capacity) as text tables,
 * ``example1`` — rerun the worked example of the introduction,
 * ``bench``  — micro-benchmark the distance-oracle backends on a
-  realistic query mix and print the timing table.
+  realistic query mix and print the timing table,
+* ``serve``  — stand up the resident scenario service (``repro.serve``):
+  an asyncio HTTP server (or ``--stdin`` JSON-lines loop) that accepts
+  ScenarioSpec documents, shares prepared networks/oracles across
+  concurrent runs and streams results to sinks (see docs/SERVING.md).
 
 Every workload command accepts ``--oracle {lazy,landmark,matrix,ch}``
 to pick the shortest-path backend and ``--oracle-cache DIR`` to persist
@@ -132,6 +136,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("example1", help="rerun the worked example of Section I")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the resident scenario service (HTTP, or JSON-lines on stdin)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="HTTP listen address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8700,
+        help="HTTP listen port (0 picks a free one)",
+    )
+    serve.add_argument(
+        "--stdin",
+        action="store_true",
+        help=(
+            "serve JSON-lines requests on stdin/stdout instead of HTTP "
+            "(one request object per line; exits on EOF or a shutdown op)"
+        ),
+    )
+    serve.add_argument(
+        "--max-runs",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help="how many submitted runs may execute concurrently",
+    )
+    serve.add_argument(
+        "--pool-sessions",
+        type=_positive_int,
+        default=8,
+        metavar="N",
+        help="bound of the shared prepared-session pool",
+    )
+    serve.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="stream every run's events to DIR/<run_id>.jsonl",
+    )
+    serve.add_argument(
+        "--oracle-cache",
+        default=None,
+        metavar="DIR",
+        help="on-disk oracle-preprocessing cache shared by pooled sessions",
+    )
 
     bench = subparsers.add_parser(
         "bench", help="micro-benchmark the distance-oracle backends"
@@ -390,12 +440,36 @@ def _run_dispatch_bench(args: argparse.Namespace, config) -> str:
     return output
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """Stand the resident scenario service up on the chosen transport."""
+    import asyncio
+
+    from .serve import ScenarioService, run_http_server, serve_stdin
+
+    service = ScenarioService(
+        max_runs=args.max_runs,
+        max_sessions=args.pool_sessions,
+        trace_dir=args.trace_dir,
+        oracle_cache_dir=args.oracle_cache,
+    )
+    if args.stdin:
+        serve_stdin(service)
+        return 0
+    try:
+        asyncio.run(run_http_server(service, host=args.host, port=args.port))
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        service.shutdown(wait=True)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "bench" and args.json and not args.dispatch:
         parser.error("--json records the dispatch trajectory; add --dispatch")
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "compare":
         output = _run_compare(args)
     elif args.command == "run":

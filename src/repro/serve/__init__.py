@@ -1,0 +1,64 @@
+"""``repro.serve`` — the resident scenario service.
+
+Where :mod:`repro.api` runs one scenario per call, this package keeps
+the expensive state *resident* and serves many concurrent scenario
+runs over it, the way a production dispatch backend would:
+
+* :class:`ScenarioService` — the transport-agnostic core: eager spec
+  validation, a bounded run executor, a shared
+  :class:`~repro.serve.pool.SessionPool` (one prepared network +
+  oracle per identity, however many requests name it), per-network
+  cross-request :class:`~repro.serve.batcher.OracleBatcher` batching,
+  and per-run result/event stores;
+* :class:`ScenarioServer` / :func:`run_http_server` — the stdlib-only
+  asyncio HTTP surface (``POST /runs``, ``GET /runs/<id>``,
+  ``GET /metrics``, ``POST /shutdown``);
+* :func:`serve_stdin` — the JSON-lines stdin/stdout fallback for
+  pipelines and CI;
+* :class:`JsonlSink` / :class:`MemorySink` — pluggable result sinks on
+  the :class:`~repro.simulation.hooks.SimulationHooks` protocol,
+  usable outside the server too (``run_scenario(spec,
+  hooks=JsonlSink("trace.jsonl"))``).
+
+Start one from the command line with ``python -m repro.cli serve`` —
+see ``docs/SERVING.md`` for the endpoint reference and examples.
+"""
+
+from .batcher import BatchedNetworkView, OracleBatcher, batched_workload
+from .pool import SessionPool, pool_key
+from .protocol import (
+    COMPLETED,
+    FAILED,
+    QUEUED,
+    RUN_STATES,
+    RUNNING,
+    ProtocolError,
+    RunRecord,
+    parse_submission,
+)
+from .server import ScenarioServer, run_http_server, serve_stdin
+from .service import ScenarioService
+from .sinks import EventRecorder, JsonlSink, MemorySink
+
+__all__ = [
+    "ScenarioService",
+    "ScenarioServer",
+    "run_http_server",
+    "serve_stdin",
+    "SessionPool",
+    "pool_key",
+    "OracleBatcher",
+    "BatchedNetworkView",
+    "batched_workload",
+    "EventRecorder",
+    "JsonlSink",
+    "MemorySink",
+    "ProtocolError",
+    "RunRecord",
+    "parse_submission",
+    "RUN_STATES",
+    "QUEUED",
+    "RUNNING",
+    "COMPLETED",
+    "FAILED",
+]

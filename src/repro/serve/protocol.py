@@ -1,0 +1,178 @@
+"""Wire types of the scenario service: requests, run records, errors.
+
+The service speaks one vocabulary over both of its transports (HTTP
+and stdin JSON-lines): a **submission** carries a
+:class:`~repro.api.ScenarioSpec` document (either the flat spec mapping
+itself or wrapped as ``{"spec": {...}}`` alongside transport options
+such as ``wait``), and every reply is a JSON-able mapping derived from
+a :class:`RunRecord`.  Validation is eager and reuses the spec layer's
+precise :class:`~repro.exceptions.ConfigurationError` messages — a bad
+submission never reaches the executor; it comes straight back as a
+structured 400-style :class:`ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..api import ScenarioSpec
+from ..exceptions import ConfigurationError
+
+#: Lifecycle states of a submitted run.
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+
+RUN_STATES = (QUEUED, RUNNING, COMPLETED, FAILED)
+
+#: Submission keys that are transport options, not spec fields.
+_SUBMIT_OPTION_KEYS = frozenset({"spec", "wait", "timeout"})
+
+
+class ProtocolError(Exception):
+    """A request the service refuses, with an HTTP-shaped status code.
+
+    ``payload`` is the structured body both transports return verbatim
+    (the HTTP server as the response body of a 4xx, the stdin transport
+    as the reply line), so clients can match on ``error`` rather than
+    parse prose.
+    """
+
+    def __init__(self, status: int, error: str, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.error = error
+        self.detail = detail
+
+    @property
+    def payload(self) -> dict[str, Any]:
+        return {"error": self.error, "detail": self.detail, "status": self.status}
+
+
+def parse_submission(payload: Any) -> tuple[ScenarioSpec, dict[str, Any]]:
+    """Validate a submission document into ``(spec, options)``.
+
+    Accepts either a flat :class:`ScenarioSpec` mapping or a wrapper
+    ``{"spec": {...}, "wait": bool, "timeout": seconds}``.  Spec
+    problems surface as a 400-style :class:`ProtocolError` carrying the
+    spec layer's precise message.
+    """
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(
+            400,
+            "invalid-request",
+            f"a submission must be a JSON object, got {type(payload).__name__}",
+        )
+    options: dict[str, Any] = {}
+    if "spec" in payload:
+        document = payload["spec"]
+        for key in payload:
+            if key not in _SUBMIT_OPTION_KEYS:
+                raise ProtocolError(
+                    400,
+                    "invalid-request",
+                    f"unknown submission key {key!r}; expected "
+                    f"{sorted(_SUBMIT_OPTION_KEYS)}",
+                )
+        options["wait"] = bool(payload.get("wait", False))
+        if payload.get("timeout") is not None:
+            timeout = payload["timeout"]
+            if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+                raise ProtocolError(
+                    400, "invalid-request", "timeout must be a number of seconds"
+                )
+            options["timeout"] = float(timeout)
+    else:
+        document = payload
+    if not isinstance(document, Mapping):
+        raise ProtocolError(
+            400,
+            "invalid-spec",
+            f"the spec document must be a JSON object, got "
+            f"{type(document).__name__}",
+        )
+    try:
+        spec = ScenarioSpec.from_dict(document)
+    except ConfigurationError as exc:
+        raise ProtocolError(400, "invalid-spec", str(exc)) from exc
+    return spec, options
+
+
+@dataclass
+class RunRecord:
+    """One submitted run's lifecycle, from queued to completed/failed.
+
+    Mutable by design — the service moves it through the states and
+    attaches the result summary — but only ever mutated through the
+    state methods below, which also stamp the timings and set the
+    ``done`` event that pollers and the stdin ``wait`` option block on.
+    """
+
+    run_id: str
+    spec: ScenarioSpec
+    status: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    result: dict[str, Any] | None = None
+    error: dict[str, Any] | None = None
+    done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def mark_running(self) -> None:
+        self.status = RUNNING
+        self.started_at = time.time()
+
+    def mark_completed(self, result: dict[str, Any]) -> None:
+        self.status = COMPLETED
+        self.finished_at = time.time()
+        self.result = result
+        self.done.set()
+
+    def mark_failed(self, error: str, detail: str) -> None:
+        self.status = FAILED
+        self.finished_at = time.time()
+        self.error = {"error": error, "detail": detail}
+        self.done.set()
+
+    @property
+    def latency_seconds(self) -> float | None:
+        """Submit-to-finish wall clock (``None`` while in flight)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    @property
+    def run_seconds(self) -> float | None:
+        """Start-to-finish wall clock (``None`` while in flight)."""
+        if self.finished_at is None or self.started_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def as_dict(self, *, include_result: bool = True) -> dict[str, Any]:
+        """The JSON-able view both transports return."""
+        data: dict[str, Any] = {
+            "run_id": self.run_id,
+            "status": self.status,
+            "scenario": self.spec.describe(),
+            "algorithm": self.spec.algorithm,
+            "spec": self.spec.to_dict(),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "latency_seconds": self.latency_seconds,
+        }
+        if self.error is not None:
+            data["error"] = self.error
+        if include_result and self.result is not None:
+            data["result"] = self.result
+        return data
+
+
+def json_bytes(payload: Any) -> bytes:
+    """Canonical JSON encoding used by both transports."""
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")

@@ -1,0 +1,326 @@
+"""The scenario service core: submit, execute, observe — no transport.
+
+:class:`ScenarioService` is everything the server does minus the wire:
+it validates submissions eagerly (:func:`~repro.serve.protocol.
+parse_submission`), multiplexes accepted runs over a bounded thread
+executor, prepares each run on a **pooled session**
+(:class:`~repro.serve.pool.SessionPool` — one oracle per network/oracle
+identity, however many concurrent requests name it), routes every run's
+oracle traffic through the per-network **cross-request batcher**
+(:class:`~repro.serve.batcher.OracleBatcher`), and streams each run's
+events into sinks (an in-memory store per run, plus a JSONL trace file
+per run when a trace directory is configured).
+
+Both transports in :mod:`repro.serve.server` — the asyncio HTTP server
+and the stdin JSON-lines loop — are thin adapters over this class, so
+tests can drive the full service lifecycle without opening a socket.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..api import RunResult, ScenarioSpec, Session
+from ..exceptions import ConfigurationError, ReproError
+from ..network.graph import RoadNetwork
+from ..simulation.hooks import CompositeHooks, SimulationHooks
+from .batcher import OracleBatcher, batched_workload
+from .pool import DEFAULT_MAX_SESSIONS, SessionPool
+from .protocol import (
+    COMPLETED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    ProtocolError,
+    RunRecord,
+    parse_submission,
+)
+from .sinks import JsonlSink, MemorySink
+
+#: Default width of the run executor: enough to overlap preparation
+#: and simulation of a few requests without oversubscribing the GIL.
+DEFAULT_MAX_RUNS = 2
+
+#: Default bound on finished run records kept queryable.
+DEFAULT_MAX_RECORDS = 1024
+
+
+class ScenarioService:
+    """Long-lived, transport-agnostic scenario execution service.
+
+    Parameters
+    ----------
+    max_runs:
+        Executor width — how many submitted runs may execute at once
+        (further submissions queue; ``queue_depth`` in ``/metrics``).
+    max_sessions:
+        Bound of the shared session pool.
+    trace_dir:
+        When set, every run streams its events to
+        ``<trace_dir>/<run_id>.jsonl`` through a
+        :class:`~repro.serve.sinks.JsonlSink`.
+    oracle_cache_dir:
+        On-disk oracle-preprocessing cache handed to pooled sessions,
+        so even a freshly started service skips CH contraction for
+        known graphs.
+    store_events:
+        Events retained in memory per run (``GET /runs/<id>`` shows
+        the tail); ``0`` disables the in-memory event store.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_runs: int = DEFAULT_MAX_RUNS,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+        trace_dir: str | Path | None = None,
+        oracle_cache_dir: str | None = None,
+        store_events: int = 1000,
+        max_records: int = DEFAULT_MAX_RECORDS,
+    ) -> None:
+        if max_runs < 1:
+            raise ValueError("max_runs must be at least 1")
+        if store_events < 0:
+            raise ValueError("store_events must be non-negative")
+        if max_records < 1:
+            raise ValueError("max_records must be at least 1")
+        self._pool = SessionPool(max_sessions, oracle_cache_dir=oracle_cache_dir)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_runs, thread_name_prefix="serve-run"
+        )
+        self._max_runs = max_runs
+        self._trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self._store_events = store_events
+        self._max_records = max_records
+        self._lock = threading.Lock()
+        self._records: dict[str, RunRecord] = {}
+        self._record_order: list[str] = []
+        self._event_stores: dict[str, MemorySink] = {}
+        self._batchers: dict[int, OracleBatcher] = {}
+        self._run_ids = itertools.count(1)
+        self._closed = False
+        # Per-backend oracle counters accumulated from finished runs.
+        self._oracle_counters: dict[str, dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, payload: Any) -> RunRecord:
+        """Validate one submission and enqueue its run.
+
+        Returns the queued :class:`RunRecord` immediately; a spec the
+        spec layer rejects raises a 400-style
+        :class:`~repro.serve.protocol.ProtocolError` and never reaches
+        the executor.
+        """
+        spec, _options = parse_submission(payload)
+        return self.submit_spec(spec)
+
+    def submit_spec(self, spec: ScenarioSpec) -> RunRecord:
+        """Enqueue an already validated spec (the programmatic door)."""
+        with self._lock:
+            if self._closed:
+                raise ProtocolError(
+                    503, "shutting-down", "the service is shutting down"
+                )
+            run_id = f"run-{next(self._run_ids):06d}"
+            record = RunRecord(run_id=run_id, spec=spec)
+            self._records[run_id] = record
+            self._record_order.append(run_id)
+            self._evict_records()
+            if self._store_events:
+                self._event_stores[run_id] = MemorySink(
+                    max_events=self._store_events, context={"run_id": run_id}
+                )
+        self._executor.submit(self._execute, record)
+        return record
+
+    def _evict_records(self) -> None:
+        """Drop the oldest *finished* records beyond the bound (lock held)."""
+        while len(self._record_order) > self._max_records:
+            for index, run_id in enumerate(self._record_order):
+                record = self._records[run_id]
+                if record.status in (COMPLETED, FAILED):
+                    del self._record_order[index]
+                    del self._records[run_id]
+                    self._event_stores.pop(run_id, None)
+                    break
+            else:
+                return  # everything left is still in flight; keep it all
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _execute(self, record: RunRecord) -> None:
+        record.mark_running()
+        try:
+            result = self._run(record)
+        except ProtocolError as exc:
+            record.mark_failed(exc.error, exc.detail)
+        except ConfigurationError as exc:
+            record.mark_failed("invalid-spec", str(exc))
+        except ReproError as exc:
+            record.mark_failed("run-failed", str(exc))
+        except OSError as exc:
+            # Unreadable CSV paths, full disks: the run failed, the
+            # service did not.
+            record.mark_failed("run-failed", str(exc))
+        except Exception as exc:  # noqa: BLE001 - a run must never kill the service
+            record.mark_failed("internal-error", f"{type(exc).__name__}: {exc}")
+        else:
+            record.mark_completed(self._summarise(result))
+            self._fold_oracle_counters(result)
+
+    def _run(self, record: RunRecord) -> RunResult:
+        spec = record.spec
+        session = self._pool.acquire(spec)
+        # Thread-safe preparation: concurrent requests for one
+        # network/oracle identity block here while the first builds.
+        workload = session.prepare(spec)
+        batcher = self._batcher_for(workload.network)
+        run_workload = batched_workload(workload, batcher)
+        provider = None
+        if spec.algorithm.lower() == "watter-expect":
+            # The memoised provider (fitted to the spec's own source),
+            # exactly as a direct Session.run(spec) would bootstrap it —
+            # passing the batched workload below must not change which
+            # provider serves the run.
+            provider = session.expect_provider(spec)
+        hooks = self._hooks_for(record)
+        return session.run(
+            spec, hooks=hooks, workload=run_workload, provider=provider
+        )
+
+    def _batcher_for(self, network: RoadNetwork) -> OracleBatcher:
+        with self._lock:
+            batcher = self._batchers.get(id(network))
+            if batcher is None:
+                batcher = OracleBatcher(network)
+                self._batchers[id(network)] = batcher
+            return batcher
+
+    def _hooks_for(self, record: RunRecord) -> SimulationHooks | None:
+        hooks: list[SimulationHooks | None] = []
+        with self._lock:
+            hooks.append(self._event_stores.get(record.run_id))
+        if self._trace_dir is not None:
+            hooks.append(
+                JsonlSink(
+                    self._trace_dir / f"{record.run_id}.jsonl",
+                    context={"run_id": record.run_id},
+                )
+            )
+        hooks = [hook for hook in hooks if hook is not None]
+        if not hooks:
+            return None
+        if len(hooks) == 1:
+            return hooks[0]
+        return CompositeHooks(hooks)
+
+    @staticmethod
+    def _summarise(result: RunResult) -> dict[str, Any]:
+        metrics = result.metrics.summary_row()
+        oracle_stats = result.oracle_stats
+        return {
+            "metrics": metrics,
+            "graph_hash": result.graph_hash,
+            "timings": dict(result.timings),
+            "oracle_stats": dict(oracle_stats) if oracle_stats else None,
+        }
+
+    def _fold_oracle_counters(self, result: RunResult) -> None:
+        stats = result.oracle_stats
+        if not stats:
+            return
+        backend = result.spec.config().oracle_backend
+        with self._lock:
+            counters = self._oracle_counters.setdefault(backend, {})
+            counters["runs"] = counters.get("runs", 0) + 1
+            for key, value in stats.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                counters[key] = counters.get(key, 0) + value
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def get(self, run_id: str) -> RunRecord:
+        """The record of one run (404-style error when unknown)."""
+        with self._lock:
+            record = self._records.get(run_id)
+        if record is None:
+            raise ProtocolError(404, "unknown-run", f"no run with id {run_id!r}")
+        return record
+
+    def wait(self, run_id: str, timeout: float | None = None) -> RunRecord:
+        """Block until the run finished (or ``timeout`` elapsed)."""
+        record = self.get(run_id)
+        record.done.wait(timeout)
+        return record
+
+    def events(self, run_id: str) -> list[dict[str, Any]]:
+        """The retained event stream of one run (empty if disabled)."""
+        self.get(run_id)  # 404 on unknown ids, even with the store off
+        with self._lock:
+            store = self._event_stores.get(run_id)
+        return store.events if store is not None else []
+
+    def list_runs(self) -> list[RunRecord]:
+        """All retained records, oldest first."""
+        with self._lock:
+            return [self._records[run_id] for run_id in self._record_order]
+
+    def metrics(self) -> dict[str, Any]:
+        """The ``/metrics`` document: pool, batcher, queue and latency."""
+        with self._lock:
+            records = [self._records[run_id] for run_id in self._record_order]
+            batcher_stats = [b.stats() for b in self._batchers.values()]
+            oracle_counters = {
+                backend: dict(counters)
+                for backend, counters in self._oracle_counters.items()
+            }
+        by_status = {state: 0 for state in (QUEUED, RUNNING, COMPLETED, FAILED)}
+        latencies = []
+        for record in records:
+            by_status[record.status] = by_status.get(record.status, 0) + 1
+            if record.latency_seconds is not None:
+                latencies.append(record.latency_seconds)
+        batcher_total: dict[str, float] = {}
+        for stats in batcher_stats:
+            for key, value in stats.items():
+                batcher_total[key] = batcher_total.get(key, 0) + value
+        return {
+            "runs": by_status,
+            "queue_depth": by_status[QUEUED],
+            "max_concurrent_runs": self._max_runs,
+            "pool": self._pool.stats(),
+            "batcher": batcher_total,
+            "oracle": oracle_counters,
+            "latency_seconds": {
+                "count": len(latencies),
+                "total": sum(latencies),
+                "mean": sum(latencies) / len(latencies) if latencies else None,
+                "max": max(latencies) if latencies else None,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting submissions and (optionally) drain in-flight runs."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._executor.shutdown(wait=wait, cancel_futures=not wait)
+
+    def __enter__(self) -> "ScenarioService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)

@@ -16,7 +16,7 @@ are shown.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import Any, Iterable, Mapping, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..model.order import Order
@@ -24,7 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class SimulationHooks:
-    """Observer interface for the engine's three structural events.
+    """Observer interface for the engine's structural events.
 
     The engine guarantees the ordering a consumer would expect from
     Algorithm 1: ``on_periodic_check`` fires for every asynchronous
@@ -32,7 +32,23 @@ class SimulationHooks:
     fires for every order immediately before it is submitted, and
     ``on_assign`` fires once per served order as soon as its assignment
     is final (whether that happened during a submit or a check).
+
+    Two *run lifecycle* events bracket the engine events when a run is
+    executed through the ``repro.api`` facade (``Session.run`` and
+    everything built on it, including the ``repro.serve`` service):
+    ``on_run_start`` fires once after the scenario's workload and
+    oracle are prepared but before the first engine event, and
+    ``on_run_end`` fires once after the run's result is assembled.
+    Both receive a flat JSON-able mapping (spec echo, algorithm, graph
+    hash; the end event adds wall-clock timings and the metric summary
+    row), which is what lets file sinks stream a self-describing trace
+    without knowing anything about the facade's types.  Code that
+    drives :class:`~repro.simulation.engine.Simulator` directly never
+    fires them.
     """
+
+    def on_run_start(self, info: Mapping[str, Any]) -> None:
+        """A facade-level run is about to start (prepared, not yet ticking)."""
 
     def on_order_arrival(self, order: "Order", now: float) -> None:
         """An order was released and is about to be submitted."""
@@ -42,3 +58,42 @@ class SimulationHooks:
 
     def on_assign(self, served: "ServedOrder") -> None:
         """An order's assignment became final (it will be served)."""
+
+    def on_run_end(self, info: Mapping[str, Any]) -> None:
+        """A facade-level run finished and its result is assembled."""
+
+
+class CompositeHooks(SimulationHooks):
+    """Fans every event out to several observers, in order.
+
+    The serving layer uses this to feed one run's events to its result
+    store and a trace sink (and any caller-supplied hooks) at once; it
+    is equally handy anywhere two independent observers must watch one
+    run.  ``None`` entries are skipped so call sites can splice in
+    optional observers without filtering first.
+    """
+
+    def __init__(self, hooks: Iterable[SimulationHooks | None]) -> None:
+        self._hooks: tuple[SimulationHooks, ...] = tuple(
+            hook for hook in hooks if hook is not None
+        )
+
+    def on_run_start(self, info: Mapping[str, Any]) -> None:
+        for hook in self._hooks:
+            hook.on_run_start(info)
+
+    def on_order_arrival(self, order: "Order", now: float) -> None:
+        for hook in self._hooks:
+            hook.on_order_arrival(order, now)
+
+    def on_periodic_check(self, now: float) -> None:
+        for hook in self._hooks:
+            hook.on_periodic_check(now)
+
+    def on_assign(self, served: "ServedOrder") -> None:
+        for hook in self._hooks:
+            hook.on_assign(served)
+
+    def on_run_end(self, info: Mapping[str, Any]) -> None:
+        for hook in self._hooks:
+            hook.on_run_end(info)

@@ -145,6 +145,29 @@ def merge_shard_results(
     return merged
 
 
+def merge_block_requests(
+    blocks: Iterable[tuple[Sequence[int], Sequence[int]]],
+) -> tuple[list[int], list[int]]:
+    """Union several ``(sources, targets)`` blocks into one aggregate block.
+
+    The cross-request oracle batcher (:mod:`repro.serve.batcher`)
+    coalesces concurrent ``travel_times_many`` blocks hitting one
+    oracle into a single aggregated call; this helper computes that
+    call's shape.  The unions are deduplicated and sorted so the
+    aggregate depends only on the *set* of queued blocks, never on
+    arrival order — the same determinism contract
+    :func:`partition_shards` gives the sharded periodic check.
+    """
+    sources: dict[int, None] = {}
+    targets: dict[int, None] = {}
+    for block_sources, block_targets in blocks:
+        for source in block_sources:
+            sources.setdefault(source)
+        for target in block_targets:
+            targets.setdefault(target)
+    return sorted(sources), sorted(targets)
+
+
 def usable_cpu_count() -> int:
     """CPUs this process may actually run on (affinity-aware)."""
     try:

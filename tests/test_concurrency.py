@@ -179,3 +179,32 @@ def test_spatial_index_concurrent_rings_match_serial(city):
         per_query_yield[node] for _, queried in results for node in queried
     )
     assert index.candidates_yielded == yielded_before + expected_yield
+
+
+def test_session_concurrent_prepare_builds_oracle_once():
+    """The Session facade's memoisation is a real critical section.
+
+    Eight threads racing ``prepare`` on one spec must converge on one
+    network, one workload object and exactly one oracle build — the
+    invariant the serving layer's session pool leans on when concurrent
+    requests land on the same pooled session.
+    """
+    from repro.api import ScenarioSpec, Session
+
+    spec = ScenarioSpec(
+        network="grid", grid_rows=5, grid_cols=5, num_orders=16,
+        num_workers=4, horizon=300.0, seed=11, algorithm="GDP",
+        oracle_backend="ch",
+    )
+    session = Session()
+    barrier = threading.Barrier(_NUM_THREADS)
+
+    def prepare(_worker_id: int):
+        barrier.wait()  # maximise overlap on the cold session
+        return session.prepare(spec)
+
+    with ThreadPoolExecutor(max_workers=_NUM_THREADS) as executor:
+        workloads = list(executor.map(prepare, range(_NUM_THREADS)))
+    first = workloads[0]
+    assert all(workload is first for workload in workloads)
+    assert session.oracle_builds == 1

@@ -1,0 +1,567 @@
+"""Tests for the ``repro.serve`` subsystem: protocol parsing, the
+session pool, cross-request oracle batching, sinks, the service core
+and both transports (HTTP and stdin JSON-lines).
+
+The load-bearing assertions mirror the serving layer's promises:
+
+* a served run's decision-derived metrics are identical to a direct
+  ``repro.api.run_scenario`` execution of the same spec+seed;
+* two concurrent submissions naming the same network/oracle identity
+  build the oracle exactly once (pool hit counter + ``oracle_builds``);
+* malformed specs come back as structured 400-style refusals, on every
+  entry point, without reaching the executor.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import ScenarioSpec, run_scenario
+from repro.network.generators import grid_city
+from repro.serve import (
+    COMPLETED,
+    FAILED,
+    QUEUED,
+    BatchedNetworkView,
+    JsonlSink,
+    MemorySink,
+    OracleBatcher,
+    ProtocolError,
+    ScenarioService,
+    SessionPool,
+    parse_submission,
+    pool_key,
+    serve_stdin,
+)
+from repro.simulation.parallel import merge_block_requests
+
+_WAIT = 240.0  # generous per-run bound; small grids finish in well under a second
+
+
+def _grid_spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        network="grid",
+        grid_rows=4,
+        grid_cols=4,
+        num_orders=12,
+        num_workers=4,
+        horizon=200.0,
+        seed=7,
+        algorithm="GDP",
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def _deterministic(row: dict) -> dict:
+    """Summary-row fields that must agree between execution paths."""
+    return {key: value for key, value in row.items() if key != "running_time"}
+
+
+# ----------------------------------------------------------------------
+# protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_flat_spec_submission(self):
+        spec, options = parse_submission(_grid_spec().to_dict())
+        assert spec == _grid_spec()
+        assert options == {}
+
+    def test_wrapped_submission_carries_options(self):
+        payload = {"spec": _grid_spec().to_dict(), "wait": True, "timeout": 5}
+        spec, options = parse_submission(payload)
+        assert spec == _grid_spec()
+        assert options == {"wait": True, "timeout": 5.0}
+
+    def test_non_mapping_submission_is_400(self):
+        with pytest.raises(ProtocolError) as exc_info:
+            parse_submission([1, 2, 3])
+        assert exc_info.value.status == 400
+        assert exc_info.value.error == "invalid-request"
+
+    def test_unknown_wrapper_key_is_400(self):
+        with pytest.raises(ProtocolError, match="unknown submission key"):
+            parse_submission({"spec": _grid_spec().to_dict(), "priority": 1})
+
+    def test_bad_timeout_is_400(self):
+        with pytest.raises(ProtocolError, match="timeout"):
+            parse_submission({"spec": _grid_spec().to_dict(), "timeout": "soon"})
+
+    def test_invalid_spec_reuses_spec_layer_message(self):
+        with pytest.raises(ProtocolError) as exc_info:
+            parse_submission({"network": "hexagonal"})
+        assert exc_info.value.status == 400
+        assert exc_info.value.error == "invalid-spec"
+        assert "hexagonal" in exc_info.value.detail
+
+    def test_error_payload_is_structured(self):
+        error = ProtocolError(404, "unknown-run", "no run with id 'x'")
+        assert error.payload == {
+            "error": "unknown-run",
+            "detail": "no run with id 'x'",
+            "status": 404,
+        }
+
+
+# ----------------------------------------------------------------------
+# session pool
+# ----------------------------------------------------------------------
+class TestSessionPool:
+    def test_key_ignores_workload_and_dispatch_fields(self):
+        base = _grid_spec(oracle_backend="ch")
+        same = base.with_overrides(
+            num_orders=30, num_workers=8, algorithm="GAS", dispatch_workers=2
+        )
+        assert pool_key(base) == pool_key(same)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        (
+            {"seed": 8},  # network generation is seeded
+            {"grid_rows": 5},
+            {"oracle_backend": "lazy"},
+            {"oracle_cache_size": 123},
+        ),
+    )
+    def test_key_tracks_network_and_oracle_identity(self, overrides):
+        base = _grid_spec(oracle_backend="ch")
+        assert pool_key(base) != pool_key(base.with_overrides(**overrides))
+
+    def test_acquire_hits_and_misses(self):
+        pool = SessionPool(max_sessions=2)
+        first = pool.acquire(_grid_spec())
+        again = pool.acquire(_grid_spec(algorithm="GAS"))
+        other = pool.acquire(_grid_spec(seed=99))
+        assert first is again
+        assert other is not first
+        stats = pool.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["sessions"] == 2
+
+    def test_lru_eviction(self):
+        pool = SessionPool(max_sessions=1)
+        pool.acquire(_grid_spec())
+        pool.acquire(_grid_spec(seed=99))
+        stats = pool.stats()
+        assert stats["sessions"] == 1
+        assert stats["evictions"] == 1
+
+
+# ----------------------------------------------------------------------
+# batcher
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def batch_city():
+    return grid_city(rows=6, cols=6, seed=5, jitter=0.2)
+
+
+class TestOracleBatcher:
+    def test_answers_match_direct_network(self, batch_city):
+        nodes = sorted(batch_city.graph.nodes())
+        sources, targets = nodes[:8], nodes[10:22]
+        batcher = OracleBatcher(batch_city)
+        assert batcher.travel_times_many(sources, targets) == (
+            batch_city.travel_times_many(sources, targets)
+        )
+
+    def test_chunked_flush_matches_unchunked(self, batch_city):
+        nodes = sorted(batch_city.graph.nodes())
+        sources, targets = nodes[:6], nodes
+        small = OracleBatcher(batch_city, max_targets_per_call=5)
+        assert small.travel_times_many(sources, targets) == (
+            batch_city.travel_times_many(sources, targets)
+        )
+        assert small.stats()["batches"] == 1
+
+    def test_empty_block_short_circuits(self, batch_city):
+        batcher = OracleBatcher(batch_city)
+        assert batcher.travel_times_many([], [1, 2]) == {}
+        assert batcher.stats()["requests"] == 0
+
+    def test_concurrent_blocks_coalesce_into_one_flush(self, batch_city):
+        """Hold the flush lock so two blocks must queue; exactly one
+        leader answers both with a single aggregated oracle call."""
+        nodes = sorted(batch_city.graph.nodes())
+        batcher = OracleBatcher(batch_city)
+        results: dict[str, dict] = {}
+
+        def query(name: str, sources, targets):
+            results[name] = batcher.travel_times_many(sources, targets)
+
+        with batcher._flush_lock:  # stall both callers at the gate
+            first = threading.Thread(
+                target=query, args=("a", nodes[:4], nodes[8:14])
+            )
+            second = threading.Thread(
+                target=query, args=("b", nodes[2:6], nodes[12:18])
+            )
+            first.start()
+            second.start()
+            deadline = time.monotonic() + 30
+            while batcher.stats()["requests"] < 2:
+                assert time.monotonic() < deadline, "blocks never queued"
+                time.sleep(0.005)
+        first.join(timeout=30)
+        second.join(timeout=30)
+        stats = batcher.stats()
+        assert stats["requests"] == 2
+        assert stats["batches"] == 1
+        assert stats["coalesced_requests"] == 1
+        # Coalescing changes when the oracle is asked, never its answers.
+        assert results["a"] == batch_city.travel_times_many(
+            nodes[:4], nodes[8:14]
+        )
+        assert results["b"] == batch_city.travel_times_many(
+            nodes[2:6], nodes[12:18]
+        )
+
+    def test_merge_block_requests_union(self):
+        sources, targets = merge_block_requests(
+            [([3, 1], [10, 11]), ([1, 2], [11, 12])]
+        )
+        assert sources == [1, 2, 3]
+        assert targets == [10, 11, 12]
+
+
+class TestBatchedNetworkView:
+    def test_view_shares_graph_and_oracle(self, batch_city):
+        view = BatchedNetworkView(OracleBatcher(batch_city))
+        assert view.graph is batch_city.graph
+        assert view.oracle is batch_city.oracle
+
+    def test_view_queries_match_parent(self, batch_city):
+        nodes = sorted(batch_city.graph.nodes())
+        view = BatchedNetworkView(OracleBatcher(batch_city))
+        assert view.travel_time(nodes[0], nodes[5]) == batch_city.travel_time(
+            nodes[0], nodes[5]
+        )
+        assert view.shortest_path(nodes[0], nodes[5]) == (
+            batch_city.shortest_path(nodes[0], nodes[5])
+        )
+        assert view.travel_times_many(nodes[:3], nodes[4:8]) == (
+            batch_city.travel_times_many(nodes[:3], nodes[4:8])
+        )
+
+    def test_view_rejects_unknown_nodes(self, batch_city):
+        view = BatchedNetworkView(OracleBatcher(batch_city))
+        with pytest.raises(Exception):
+            view.travel_times_many([10**9], [0])
+
+
+# ----------------------------------------------------------------------
+# sinks
+# ----------------------------------------------------------------------
+class TestSinks:
+    def test_memory_sink_bounds_events(self):
+        sink = MemorySink(max_events=3, context={"run_id": "r1"})
+        for now in range(5):
+            sink.on_periodic_check(float(now))
+        assert sink.dropped_events == 2
+        assert [event["now"] for event in sink.events] == [2.0, 3.0, 4.0]
+        assert all(event["run_id"] == "r1" for event in sink.events)
+
+    def test_jsonl_sink_traces_a_direct_run(self, tmp_path):
+        """The sink is usable outside the server: one facade call with
+        ``trace_path`` leaves a complete JSONL trace."""
+        trace = tmp_path / "trace.jsonl"
+        result = run_scenario(_grid_spec(), trace_path=trace)
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert events[0]["event"] == "run_start"
+        assert events[0]["algorithm"] == "GDP"
+        assert events[0]["graph_hash"] == result.graph_hash
+        assert events[-1]["event"] == "run_end"
+        assert events[-1]["metrics"]["orders"] == 12
+        kinds = {event["event"] for event in events}
+        assert "order_arrival" in kinds
+
+    def test_jsonl_sink_as_hooks_argument(self, tmp_path):
+        trace = tmp_path / "hooks.jsonl"
+        with JsonlSink(trace, context={"run_id": "r9"}) as sink:
+            run_scenario(_grid_spec(), hooks=sink)
+        first = json.loads(trace.read_text().splitlines()[0])
+        assert first["event"] == "run_start"
+        assert first["run_id"] == "r9"
+
+
+# ----------------------------------------------------------------------
+# the service core
+# ----------------------------------------------------------------------
+class TestScenarioService:
+    def test_served_metrics_match_direct_run(self):
+        spec = _grid_spec(oracle_backend="ch")
+        direct = run_scenario(spec)
+        with ScenarioService(max_runs=2) as service:
+            record = service.wait(service.submit_spec(spec).run_id, timeout=_WAIT)
+            assert record.status == COMPLETED, record.error
+            assert _deterministic(record.result["metrics"]) == (
+                _deterministic(direct.metrics.summary_row())
+            )
+            assert record.result["graph_hash"] == direct.graph_hash
+
+    def test_served_watter_expect_matches_direct_run(self):
+        """The pooled session hands the run its memoised provider, so
+        the learning-based algorithm is served bit-identically too."""
+        spec = _grid_spec(
+            grid_rows=5, grid_cols=5, num_orders=30, num_workers=6,
+            horizon=300.0, seed=11, algorithm="WATTER-expect",
+        )
+        direct = run_scenario(spec)
+        with ScenarioService(max_runs=1) as service:
+            record = service.wait(service.submit_spec(spec).run_id, timeout=_WAIT)
+            assert record.status == COMPLETED, record.error
+            assert _deterministic(record.result["metrics"]) == (
+                _deterministic(direct.metrics.summary_row())
+            )
+
+    def test_concurrent_submissions_share_one_oracle(self):
+        """The acceptance bar: two concurrent requests naming the same
+        network/oracle identity build the oracle exactly once."""
+        spec_a = _grid_spec(oracle_backend="ch")
+        spec_b = spec_a.with_overrides(num_orders=16, algorithm="GAS")
+        with ScenarioService(max_runs=2) as service:
+            record_a = service.submit_spec(spec_a)
+            record_b = service.submit_spec(spec_b)
+            assert service.wait(record_a.run_id, timeout=_WAIT).status == COMPLETED
+            assert service.wait(record_b.run_id, timeout=_WAIT).status == COMPLETED
+            pool = service.metrics()["pool"]
+        assert pool["misses"] == 1
+        assert pool["hits"] == 1
+        assert pool["sessions"] == 1
+        assert pool["oracle_builds"] == 1
+
+    def test_malformed_submission_is_refused_eagerly(self):
+        with ScenarioService() as service:
+            with pytest.raises(ProtocolError) as exc_info:
+                service.submit({"network": "hexagonal"})
+            assert exc_info.value.status == 400
+            assert exc_info.value.error == "invalid-spec"
+            assert service.list_runs() == []  # never reached the executor
+
+    def test_unknown_run_is_404(self):
+        with ScenarioService() as service:
+            with pytest.raises(ProtocolError) as exc_info:
+                service.get("run-999999")
+            assert exc_info.value.status == 404
+
+    def test_event_store_brackets_the_run(self):
+        with ScenarioService(max_runs=1, store_events=500) as service:
+            record = service.wait(
+                service.submit_spec(_grid_spec()).run_id, timeout=_WAIT
+            )
+            events = service.events(record.run_id)
+        assert events[0]["event"] == "run_start"
+        assert events[-1]["event"] == "run_end"
+        assert all(event["run_id"] == record.run_id for event in events)
+
+    def test_trace_dir_writes_one_file_per_run(self, tmp_path):
+        with ScenarioService(max_runs=1, trace_dir=tmp_path) as service:
+            record = service.wait(
+                service.submit_spec(_grid_spec()).run_id, timeout=_WAIT
+            )
+        trace = tmp_path / f"{record.run_id}.jsonl"
+        lines = trace.read_text().splitlines()
+        assert json.loads(lines[0])["event"] == "run_start"
+        assert json.loads(lines[-1])["event"] == "run_end"
+
+    def test_failed_run_is_recorded_not_raised(self):
+        # Valid spec, impossible workload source: CSV files that do not exist.
+        spec = ScenarioSpec(
+            network="grid", grid_rows=4, grid_cols=4, workload="csv",
+            orders_csv="/nonexistent/orders.csv", num_orders=5,
+            num_workers=2, horizon=100.0, seed=1, algorithm="GDP",
+        )
+        with ScenarioService(max_runs=1) as service:
+            record = service.wait(service.submit_spec(spec).run_id, timeout=_WAIT)
+        assert record.status == FAILED
+        assert record.error is not None
+        assert record.error["error"] in ("invalid-spec", "run-failed")
+
+    def test_shutdown_refuses_new_submissions(self):
+        service = ScenarioService()
+        service.shutdown()
+        with pytest.raises(ProtocolError) as exc_info:
+            service.submit_spec(_grid_spec())
+        assert exc_info.value.status == 503
+
+    def test_metrics_document_shape(self):
+        with ScenarioService(max_runs=1) as service:
+            service.wait(service.submit_spec(_grid_spec()).run_id, timeout=_WAIT)
+            metrics = service.metrics()
+        assert metrics["runs"][COMPLETED] == 1
+        assert metrics["runs"][QUEUED] == 0
+        assert metrics["queue_depth"] == 0
+        assert metrics["latency_seconds"]["count"] == 1
+        assert metrics["latency_seconds"]["max"] >= 0
+        assert metrics["batcher"]["requests"] > 0
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+# ----------------------------------------------------------------------
+class TestHttpServer:
+    @pytest.fixture()
+    def http_server(self):
+        import asyncio
+
+        from repro.serve import ScenarioServer
+
+        service = ScenarioService(max_runs=2)
+        server = ScenarioServer(service, port=0)
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+        address: list = []
+
+        async def main():
+            await server.start()
+            address.append(server.address)
+            started.set()
+            await server.serve_forever()
+
+        thread = threading.Thread(
+            target=lambda: loop.run_until_complete(main()), daemon=True
+        )
+        thread.start()
+        assert started.wait(timeout=30)
+        yield address[0], server, loop
+        if thread.is_alive():
+            loop.call_soon_threadsafe(server.request_stop)
+            thread.join(timeout=30)
+        loop.close()
+
+    @staticmethod
+    def _request(address, method, path, body=None):
+        import urllib.error
+        import urllib.request
+
+        host, port = address
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            f"http://{host}:{port}{path}", data=data, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=_WAIT) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def test_full_request_cycle(self, http_server):
+        address, _server, _loop = http_server
+        status, body = self._request(address, "GET", "/healthz")
+        assert (status, body) == (200, {"status": "ok"})
+
+        status, body = self._request(
+            address, "POST", "/runs?wait=1", _grid_spec().to_dict()
+        )
+        assert status == 200
+        assert body["status"] == COMPLETED
+        direct = run_scenario(_grid_spec())
+        assert _deterministic(body["result"]["metrics"]) == (
+            _deterministic(direct.metrics.summary_row())
+        )
+        run_id = body["run_id"]
+
+        status, body = self._request(address, "GET", f"/runs/{run_id}")
+        assert status == 200 and body["status"] == COMPLETED
+        status, body = self._request(address, "GET", f"/runs/{run_id}/events")
+        assert status == 200
+        assert body["events"][0]["event"] == "run_start"
+        status, body = self._request(address, "GET", "/runs")
+        assert status == 200 and len(body["runs"]) == 1
+        status, body = self._request(address, "GET", "/metrics")
+        assert status == 200 and body["runs"][COMPLETED] == 1
+
+    def test_http_refusals_are_structured(self, http_server):
+        address, _server, _loop = http_server
+        status, body = self._request(address, "POST", "/runs", {"network": "hex"})
+        assert status == 400
+        assert body["error"] == "invalid-spec"
+        status, body = self._request(address, "GET", "/runs/run-999999")
+        assert status == 404
+        assert body["error"] == "unknown-run"
+        status, body = self._request(address, "GET", "/nowhere")
+        assert status == 404
+        assert body["error"] == "unknown-path"
+        status, body = self._request(address, "DELETE", "/metrics")
+        assert status == 405
+
+    def test_http_shutdown_stops_the_server(self, http_server):
+        address, _server, loop = http_server
+        status, body = self._request(address, "POST", "/shutdown")
+        assert (status, body["status"]) == (200, "shutting-down")
+        deadline = time.monotonic() + 30
+        while loop.is_running() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not loop.is_running()
+
+
+# ----------------------------------------------------------------------
+# stdin JSON-lines transport
+# ----------------------------------------------------------------------
+class TestStdinTransport:
+    @staticmethod
+    def _drive(lines):
+        in_stream = io.StringIO(
+            "".join(json.dumps(line) + "\n" for line in lines)
+        )
+        out_stream = io.StringIO()
+        service = ScenarioService(max_runs=1)
+        served = serve_stdin(service, in_stream, out_stream)
+        replies = [
+            json.loads(line) for line in out_stream.getvalue().splitlines()
+        ]
+        return served, replies, service
+
+    def test_submit_wait_then_shutdown(self):
+        served, replies, service = self._drive(
+            [
+                {**_grid_spec().to_dict(), "wait": True},
+                {"op": "metrics"},
+                {"op": "shutdown"},
+            ]
+        )
+        assert served == 3
+        submit, metrics, farewell = replies
+        assert submit["ok"] and submit["status"] == COMPLETED
+        assert submit["result"]["metrics"]["orders"] == 12
+        assert metrics["ok"] and metrics["runs"][COMPLETED] == 1
+        assert farewell == {"ok": True, "status": "shutting-down"}
+        # The loop's exit drained the service.
+        with pytest.raises(ProtocolError):
+            service.submit_spec(_grid_spec())
+
+    def test_wrapped_submit_and_poll(self):
+        served, replies, _service = self._drive(
+            [
+                {"op": "submit", "spec": _grid_spec().to_dict(), "wait": True},
+                {"op": "poll", "run_id": "run-000001"},
+                {"op": "events", "run_id": "run-000001"},
+                {"op": "list"},
+            ]
+        )
+        assert served == 4
+        submit, poll, events, listing = replies
+        assert submit["status"] == COMPLETED
+        assert poll["status"] == COMPLETED
+        assert events["events"][-1]["event"] == "run_end"
+        assert [run["run_id"] for run in listing["runs"]] == ["run-000001"]
+
+    def test_structured_refusals(self):
+        _served, replies, _service = self._drive(
+            [
+                "not an object",
+                {"op": "poll"},
+                {"op": "teleport"},
+                {"network": "hex"},
+            ]
+        )
+        assert [reply["ok"] for reply in replies] == [False] * 4
+        assert replies[0]["error"] == "invalid-request"
+        assert replies[1]["error"] == "invalid-request"
+        assert replies[2]["error"] == "unknown-op"
+        assert replies[3]["error"] == "invalid-spec"
