@@ -50,6 +50,8 @@ from ..model.worker import Worker
 from ..network.generators import grid_city
 from ..network.graph import RoadNetwork
 from ..network.oracle import configure_oracle, graph_signature
+from ..resilience.cancellation import CancellationToken, RunCancelled
+from ..resilience.degradation import DegradationLog
 from ..simulation.engine import Simulator
 from ..simulation.hooks import SimulationHooks
 from ..simulation.metrics import SimulationMetrics
@@ -82,6 +84,11 @@ class RunResult:
     graph_hash:
         Stable content hash of the road network the run used; makes
         results and benchmark artifacts self-describing.
+    degradations:
+        Fallbacks the run survived (corrupt-cache rebuild, oracle
+        backend fallback, dispatch-mode downgrades, ...), each a dict
+        with ``site``/``from``/``to``/``reason`` keys.  Empty for a
+        clean run.
     """
 
     spec: ScenarioSpec
@@ -90,6 +97,7 @@ class RunResult:
     outcomes: tuple[OrderOutcome, ...]
     timings: Mapping[str, float]
     graph_hash: str
+    degradations: tuple[dict[str, str], ...] = ()
 
     @property
     def service_rate(self) -> float:
@@ -163,6 +171,8 @@ class Session:
         hooks: SimulationHooks | None = None,
         workload: Workload | None = None,
         provider: ThresholdProvider | None = None,
+        cancellation: CancellationToken | None = None,
+        degradations: DegradationLog | None = None,
     ) -> RunResult:
         """Execute one scenario and return its structured result.
 
@@ -180,14 +190,33 @@ class Session:
         provider:
             Pre-built threshold provider for ``WATTER-expect`` (one is
             bootstrapped and memoised automatically when omitted).
+        cancellation:
+            Caller-owned token checked at every tick boundary; omitted,
+            one is created from ``spec.deadline_seconds`` when the spec
+            sets a deadline.  Deadline expiry or an explicit ``cancel``
+            raises :class:`~repro.resilience.cancellation.RunCancelled`
+            whose ``partial`` attribute carries the timings measured so
+            far and the degradations recorded up to the cut.
+        degradations:
+            Caller-owned log continued across :meth:`prepare` and the
+            run, so preparation-time fallbacks survive into the result;
+            a fresh log is created when omitted.
         """
         spec = self._effective(spec)
         config = spec.config()
+        if cancellation is None and spec.deadline_seconds is not None:
+            cancellation = CancellationToken(spec.deadline_seconds)
+        if degradations is None:
+            degradations = DegradationLog()
         started = time.perf_counter()
+        if cancellation is not None:
+            # The budget covers preparation too: a spec whose oracle
+            # build alone exceeds the deadline must not start simulating.
+            cancellation.start()
         custom_workload = workload is not None
         if workload is None:
             workload = self.workload(spec)
-        self._attach_oracle(workload, config)
+        self._attach_oracle(workload, config, degradations=degradations)
         if provider is None and spec.algorithm.lower() == "watter-expect":
             # A caller-supplied workload must also drive the threshold
             # bootstrap, otherwise the thresholds would be fitted to
@@ -197,6 +226,10 @@ class Session:
             )
         prepare_seconds = time.perf_counter() - started
         graph_hash = self.graph_hash(workload.network)
+        if cancellation is not None:
+            self._check_cancelled(
+                cancellation, degradations, prepare_seconds, graph_hash
+            )
         if hooks is not None:
             hooks.on_run_start(
                 {
@@ -208,7 +241,23 @@ class Session:
             )
         run_started = time.perf_counter()
         dispatcher = make_dispatcher(spec.algorithm, workload, config, provider)
-        result = Simulator(workload, dispatcher, config, hooks=hooks).run()
+        try:
+            result = Simulator(
+                workload,
+                dispatcher,
+                config,
+                hooks=hooks,
+                cancellation=cancellation,
+                degradations=degradations,
+            ).run()
+        except RunCancelled as exc:
+            exc.partial = _partial_snapshot(
+                prepare_seconds,
+                time.perf_counter() - run_started,
+                graph_hash,
+                degradations,
+            )
+            raise
         run_seconds = time.perf_counter() - run_started
         timings = {
             "prepare_seconds": prepare_seconds,
@@ -222,6 +271,7 @@ class Session:
             outcomes=tuple(result.collector.outcomes),
             timings=timings,
             graph_hash=graph_hash,
+            degradations=tuple(degradations.as_dicts()),
         )
         if hooks is not None:
             hooks.on_run_end(
@@ -294,12 +344,23 @@ class Session:
                 self._workloads.popitem(last=False)
             return workload
 
-    def prepare(self, spec: ScenarioSpec) -> Workload:
-        """Stand the scenario's workload and oracle up without running it."""
+    def prepare(
+        self,
+        spec: ScenarioSpec,
+        *,
+        degradations: DegradationLog | None = None,
+    ) -> Workload:
+        """Stand the scenario's workload and oracle up without running it.
+
+        ``degradations`` lets the caller capture preparation-time
+        fallbacks (corrupt cache rebuilds, CH build failures demoted to
+        the lazy oracle); pass the same log to :meth:`run` so those
+        events surface in the :class:`RunResult`.
+        """
         spec = self._effective(spec)
         config = spec.config()
         workload = self.workload(spec)
-        self._attach_oracle(workload, config)
+        self._attach_oracle(workload, config, degradations=degradations)
         return workload
 
     def expect_provider(
@@ -384,14 +445,40 @@ class Session:
             return spec.with_overrides(oracle_cache_dir=self._oracle_cache_dir)
         return spec
 
-    def _attach_oracle(self, workload: Workload, config: SimulationConfig) -> None:
+    def _attach_oracle(
+        self,
+        workload: Workload,
+        config: SimulationConfig,
+        *,
+        degradations: DegradationLog | None = None,
+    ) -> None:
         with self._lock:
             before = workload.network.oracle
             oracle = configure_oracle(
-                workload.network, config, nodes=workload.active_nodes(), reuse=True
+                workload.network,
+                config,
+                nodes=workload.active_nodes(),
+                reuse=True,
+                degradations=degradations,
             )
             if oracle is not before:
                 self.oracle_builds += 1
+
+    @staticmethod
+    def _check_cancelled(
+        cancellation: CancellationToken,
+        degradations: DegradationLog,
+        prepare_seconds: float,
+        graph_hash: str,
+    ) -> None:
+        """Post-preparation checkpoint — enriches the failure with a partial."""
+        try:
+            cancellation.check()
+        except RunCancelled as exc:
+            exc.partial = _partial_snapshot(
+                prepare_seconds, 0.0, graph_hash, degradations
+            )
+            raise
 
     def _network_key(self, spec: ScenarioSpec, config: SimulationConfig) -> tuple:
         if spec.network == "dataset":
@@ -497,6 +584,24 @@ class Session:
             network=network,
             name=spec.name or "csv-replay",
         )
+
+
+def _partial_snapshot(
+    prepare_seconds: float,
+    run_seconds: float,
+    graph_hash: str,
+    degradations: DegradationLog,
+) -> dict[str, Any]:
+    """What a cancelled run can still report: timings and degradations."""
+    return {
+        "timings": {
+            "prepare_seconds": prepare_seconds,
+            "run_seconds": run_seconds,
+            "total_seconds": prepare_seconds + run_seconds,
+        },
+        "graph_hash": graph_hash,
+        "degradations": degradations.as_dicts(),
+    }
 
 
 def _training_subsample(

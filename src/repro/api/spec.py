@@ -92,6 +92,7 @@ _FLOAT_FIELDS = (
     "penalty_factor",
     "alpha",
     "beta",
+    "deadline_seconds",
 )
 
 #: String fields that must always be set (the spec's structural axes).
@@ -158,6 +159,12 @@ class ScenarioSpec:
         :class:`~repro.config.SimulationConfig` fields; ``None`` keeps
         the resolved default.  ``alpha``/``beta`` expand into the
         extra-time weights.
+    deadline_seconds:
+        Wall-clock budget for one execution of this scenario,
+        enforced cooperatively at tick boundaries (see
+        :mod:`repro.resilience.cancellation`).  ``None`` means
+        unlimited; ``repro serve --default-deadline`` supplies a
+        service-wide default for specs that leave it unset.
     """
 
     name: str = ""
@@ -193,6 +200,7 @@ class ScenarioSpec:
     oracle_cache_dir: str | None = None
     dispatch_workers: int | None = None
     dispatch_mode: str | None = None
+    deadline_seconds: float | None = None
 
     # ------------------------------------------------------------------
     # validation and normalisation
@@ -241,6 +249,11 @@ class ScenarioSpec:
             raise ConfigurationError(
                 "ScenarioSpec.orders_csv/workers_csv only apply to "
                 "workload='csv'"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigurationError(
+                "ScenarioSpec.deadline_seconds must be a positive number of "
+                f"seconds, got {self.deadline_seconds!r}"
             )
         canonical = _CANONICAL_ALGORITHMS.get(self.algorithm.lower())
         if canonical is None:

@@ -182,6 +182,36 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="on-disk oracle-preprocessing cache shared by pooled sessions",
     )
+    serve.add_argument(
+        "--default-deadline",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget applied to every run whose spec sets no "
+            "deadline_seconds; expiry cancels the run at the next tick "
+            "boundary (default: unlimited)"
+        ),
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "bound on queued (not yet running) runs; a full queue refuses "
+            "submissions with a 429 'overloaded' error (default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="FILE",
+        help=(
+            "JSON fault schedule installed for the service's lifetime "
+            "(testing aid; see repro.resilience.faults)"
+        ),
+    )
 
     bench = subparsers.add_parser(
         "bench", help="micro-benchmark the distance-oracle backends"
@@ -237,6 +267,13 @@ def _positive_int(value: str) -> int:
     parsed = int(value)
     if parsed < 1:
         raise argparse.ArgumentTypeError("must be a positive integer")
+    return parsed
+
+
+def _positive_float(value: str) -> float:
+    parsed = float(value)
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError("must be a positive number")
     return parsed
 
 
@@ -446,20 +483,34 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     from .serve import ScenarioService, run_http_server, serve_stdin
 
+    injector = None
+    if args.inject_faults:
+        from .resilience import FaultInjector, install_injector
+
+        injector = FaultInjector.from_file(args.inject_faults)
+        install_injector(injector)
     service = ScenarioService(
         max_runs=args.max_runs,
         max_sessions=args.pool_sessions,
         trace_dir=args.trace_dir,
         oracle_cache_dir=args.oracle_cache,
+        max_queue=args.max_queue,
+        default_deadline=args.default_deadline,
     )
-    if args.stdin:
-        serve_stdin(service)
-        return 0
     try:
-        asyncio.run(run_http_server(service, host=args.host, port=args.port))
-    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
-        service.shutdown(wait=True)
-    return 0
+        if args.stdin:
+            serve_stdin(service)
+            return 0
+        try:
+            asyncio.run(run_http_server(service, host=args.host, port=args.port))
+        except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+            service.shutdown(wait=True)
+        return 0
+    finally:
+        if injector is not None:
+            from .resilience import uninstall_injector
+
+            uninstall_injector()
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -35,9 +35,12 @@ instead of rerunning Dijkstra.
 
 from .base import CacheInfo, DistanceOracle, OracleStats
 from .cache import (
+    CacheLoadOutcome,
     ch_cache_path,
     graph_signature,
     load_ch_preprocessing,
+    load_ch_preprocessing_outcome,
+    quarantine_cache_file,
     save_ch_preprocessing,
 )
 from .ch import CHOracle
@@ -55,9 +58,12 @@ from .registry import (
 __all__ = [
     "CacheInfo",
     "CHOracle",
+    "CacheLoadOutcome",
     "ch_cache_path",
     "graph_signature",
     "load_ch_preprocessing",
+    "load_ch_preprocessing_outcome",
+    "quarantine_cache_file",
     "save_ch_preprocessing",
     "DistanceOracle",
     "OracleStats",

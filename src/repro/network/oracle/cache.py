@@ -20,6 +20,15 @@ This module provides that persistence layer:
   and the caller re-contracts from scratch — the cache can never make
   an answer wrong, only a build fast.
 
+Failures are no longer silent: IO errors are retried under the
+resilience layer's backoff policy and *counted*
+(:class:`CacheLoadOutcome.load_failures` flows into the oracle's
+``cache_load_failures`` stat), and a file that fails to even parse is
+**quarantined** to ``<name>.corrupt`` so the next process rebuilds once
+instead of tripping over the same rotten bytes forever.  Semantic
+mismatches (another graph, an older format) are *not* failures — they
+are ordinary misses, and the rebuild overwrites the stale file anyway.
+
 The registry's ``ch`` factory wires this up behind the ``cache_dir``
 option (``SimulationConfig.oracle_cache_dir`` / ``--oracle-cache``), so
 a warm cache directory makes a fresh process skip preprocessing
@@ -30,10 +39,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping
 
 import networkx as nx
+
+from ...resilience.faults import corrupt_file_if_scheduled, fault_point
+from ...resilience.retry import RetryPolicy, retry_call
 
 if TYPE_CHECKING:  # pragma: no cover
     from .ch import CHOracle
@@ -41,6 +54,12 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Payload layout version; bump when ``export_preprocessing`` changes
 #: shape so stale files are rebuilt instead of misread.
 CH_CACHE_FORMAT = 1
+
+#: Backoff for cache-file IO: three quick tries (NFS hiccups, racing
+#: writers), then the caller degrades to a rebuild.
+CACHE_IO_POLICY = RetryPolicy(
+    max_attempts=3, base_delay=0.02, max_delay=0.2, retry_on=(OSError,)
+)
 
 
 def graph_signature(graph: nx.DiGraph) -> str:
@@ -71,6 +90,108 @@ def ch_cache_path(
     return Path(cache_dir) / f"ch-{signature[:24]}-w{witness_hop_limit}.json"
 
 
+@dataclass(frozen=True)
+class CacheLoadOutcome:
+    """What one cache load attempt produced, failures included.
+
+    Attributes
+    ----------
+    payload:
+        The validated preprocessing payload, or ``None`` on any miss.
+    load_failures:
+        IO errors and parse failures encountered (retried IO counts
+        each failed attempt).  Semantic mismatches — another graph, an
+        older format — are ordinary misses and do not count.
+    quarantined:
+        Where an unparseable file was moved (``<name>.corrupt``), or
+        ``None``.
+    corrupt:
+        Whether the file existed but failed to parse (the degradation
+        the registry records).
+    """
+
+    payload: Mapping[str, Any] | None
+    load_failures: int = 0
+    quarantined: Path | None = None
+    corrupt: bool = False
+
+
+def quarantine_cache_file(path: str | Path) -> Path | None:
+    """Move a rotten cache file aside to ``<name>.corrupt`` (best effort).
+
+    Keeps the bytes for post-mortems while guaranteeing the next load
+    does not trip over them again; an IO failure during the move just
+    leaves the file in place (the rebuild overwrites it atomically).
+    """
+    file_path = Path(path)
+    target = file_path.with_name(file_path.name + ".corrupt")
+    try:
+        file_path.replace(target)
+    except OSError:
+        return None
+    return target
+
+
+def load_ch_preprocessing_outcome(
+    path: str | Path, graph: nx.DiGraph, witness_hop_limit: int
+) -> CacheLoadOutcome:
+    """Read a persisted payload, reporting failures instead of hiding them.
+
+    The read is retried under :data:`CACHE_IO_POLICY`; a file that
+    cannot be parsed at all is quarantined to ``<name>.corrupt``.  A
+    ``payload`` of ``None`` always means "contract from scratch" — the
+    extra fields say *why*.
+    """
+    file_path = Path(path)
+    failures = 0
+    if not file_path.exists():
+        return CacheLoadOutcome(None)
+    # Chaos hook: deterministic schedules may garble the file here,
+    # exactly where real bit rot would be discovered.
+    corrupt_file_if_scheduled("oracle.cache.file", file_path)
+
+    def read_bytes() -> bytes:
+        fault_point("oracle.cache.load")
+        # Raw bytes: a file garbled into invalid UTF-8 must surface as
+        # a parse failure (and be quarantined below), not escape as a
+        # UnicodeDecodeError from the read itself.
+        return file_path.read_bytes()
+
+    def count_failure(attempt: int, exc: BaseException, delay: float) -> None:
+        nonlocal failures
+        failures += 1
+
+    try:
+        blob = retry_call(read_bytes, policy=CACHE_IO_POLICY, on_retry=count_failure)
+    except OSError:
+        return CacheLoadOutcome(None, load_failures=failures + 1)
+    try:
+        payload = json.loads(blob)
+    except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+        quarantined = quarantine_cache_file(file_path)
+        return CacheLoadOutcome(
+            None, load_failures=failures + 1, quarantined=quarantined, corrupt=True
+        )
+    if not isinstance(payload, dict):
+        quarantined = quarantine_cache_file(file_path)
+        return CacheLoadOutcome(
+            None, load_failures=failures + 1, quarantined=quarantined, corrupt=True
+        )
+    if payload.get("format") != CH_CACHE_FORMAT:
+        return CacheLoadOutcome(None, load_failures=failures)
+    if payload.get("witness_hop_limit") != witness_hop_limit:
+        return CacheLoadOutcome(None, load_failures=failures)
+    if payload.get("graph") != graph_signature(graph):
+        return CacheLoadOutcome(None, load_failures=failures)
+    data = payload.get("data")
+    if not isinstance(data, dict):
+        quarantined = quarantine_cache_file(file_path)
+        return CacheLoadOutcome(
+            None, load_failures=failures + 1, quarantined=quarantined, corrupt=True
+        )
+    return CacheLoadOutcome(data, load_failures=failures)
+
+
 def load_ch_preprocessing(
     path: str | Path, graph: nx.DiGraph, witness_hop_limit: int
 ) -> Mapping[str, Any] | None:
@@ -79,23 +200,10 @@ def load_ch_preprocessing(
     ``None`` covers every miss uniformly — no file, unreadable JSON, a
     different format version, a different hop limit, or a signature
     mismatch (the file was written for another graph).  Callers treat
-    ``None`` as "contract from scratch".
+    ``None`` as "contract from scratch".  (The registry uses
+    :func:`load_ch_preprocessing_outcome` to also learn *why*.)
     """
-    file_path = Path(path)
-    try:
-        payload = json.loads(file_path.read_text())
-    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-        return None
-    if not isinstance(payload, dict):
-        return None
-    if payload.get("format") != CH_CACHE_FORMAT:
-        return None
-    if payload.get("witness_hop_limit") != witness_hop_limit:
-        return None
-    if payload.get("graph") != graph_signature(graph):
-        return None
-    data = payload.get("data")
-    return data if isinstance(data, dict) else None
+    return load_ch_preprocessing_outcome(path, graph, witness_hop_limit).payload
 
 
 def save_ch_preprocessing(
@@ -104,17 +212,27 @@ def save_ch_preprocessing(
     """Persist ``oracle``'s contraction products for ``graph`` at ``path``.
 
     The write is atomic (temp file + rename) so a crashed process never
-    leaves a half-written payload a later load would have to distrust.
+    leaves a half-written payload a later load would have to distrust,
+    and the whole write is retried under :data:`CACHE_IO_POLICY` before
+    the final :class:`OSError` reaches the caller (who treats saving as
+    best effort — a run never fails because its cache could not be
+    written).
     """
     file_path = Path(path)
-    file_path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "format": CH_CACHE_FORMAT,
         "graph": graph_signature(graph),
         "witness_hop_limit": oracle.witness_hop_limit,
         "data": oracle.export_preprocessing(),
     }
-    scratch = file_path.with_name(file_path.name + ".tmp")
-    scratch.write_text(json.dumps(payload))
-    scratch.replace(file_path)
+    serialised = json.dumps(payload)
+
+    def write() -> None:
+        fault_point("oracle.cache.save")
+        file_path.parent.mkdir(parents=True, exist_ok=True)
+        scratch = file_path.with_name(file_path.name + ".tmp")
+        scratch.write_text(serialised)
+        scratch.replace(file_path)
+
+    retry_call(write, policy=CACHE_IO_POLICY)
     return file_path

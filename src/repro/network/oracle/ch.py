@@ -192,6 +192,11 @@ class CHOracle(DistanceOracle):
         self._shortcuts_added = 0
         self._upward_settles = 0
         self._bucket_scans = 0
+        #: Disk-cache load failures the registry observed while building
+        #: this oracle (IO errors after retries, quarantined corrupt
+        #: files); surfaced through ``oracle_stats`` as
+        #: ``cache_load_failures``.
+        self.cache_load_failures = 0
         self._query_lock = threading.RLock()
 
         started = time.perf_counter()
@@ -744,6 +749,7 @@ class CHOracle(DistanceOracle):
             "bucket_cached_targets": float(len(self._bucket_cache)),
             "arrival_cached_targets": float(len(self._arrival_cache)),
             "preprocessing_from_cache": float(self._loaded_from_cache),
+            "cache_load_failures": float(self.cache_load_failures),
         }
 
     # ------------------------------------------------------------------

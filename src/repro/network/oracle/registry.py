@@ -18,6 +18,8 @@ from typing import Callable, Iterable, TYPE_CHECKING
 import networkx as nx
 
 from ...exceptions import ConfigurationError
+from ...resilience.degradation import DegradationLog
+from ...resilience.faults import fault_point
 from .base import DistanceOracle
 from .ch import DEFAULT_BUCKET_CACHE_SIZE, DEFAULT_WITNESS_HOP_LIMIT, CHOracle
 from .landmark import DEFAULT_NUM_LANDMARKS, LandmarkOracle
@@ -32,7 +34,8 @@ if TYPE_CHECKING:  # pragma: no cover
 #: must tolerate the uniform option names produced by
 #: :func:`configure_oracle` (``nodes``, ``cache_size``,
 #: ``reverse_cache_size``, ``num_landmarks``, ``witness_hop_limit``,
-#: ``cache_dir``, ``seed``) and ignore the ones they do not use.
+#: ``cache_dir``, ``seed``, ``degradations``) and ignore the ones they
+#: do not use.
 OracleFactory = Callable[..., DistanceOracle]
 
 
@@ -58,6 +61,7 @@ def _make_matrix(graph: nx.DiGraph, **options) -> MatrixOracle:
 
 def _make_ch(graph: nx.DiGraph, **options) -> CHOracle:
     hop_limit = options.get("witness_hop_limit", DEFAULT_WITNESS_HOP_LIMIT)
+    degradations: DegradationLog | None = options.get("degradations")
     kwargs = dict(
         witness_hop_limit=hop_limit,
         bucket_cache_size=options.get("cache_size", DEFAULT_BUCKET_CACHE_SIZE),
@@ -65,22 +69,59 @@ def _make_ch(graph: nx.DiGraph, **options) -> CHOracle:
     )
     cache_dir = options.get("cache_dir")
     if not cache_dir:
+        fault_point("oracle.ch.build")
         return CHOracle(graph, **kwargs)
     # Disk-backed preprocessing: a warm cache directory lets this (and
     # every later) process skip the contraction pass entirely.  A stale
-    # or corrupted payload loads as None / raises ValueError, in which
-    # case the graph is contracted from scratch and the file rewritten.
-    from .cache import ch_cache_path, load_ch_preprocessing, save_ch_preprocessing
+    # or corrupted payload yields a miss (rotten files are quarantined
+    # to <name>.corrupt by the cache layer), in which case the graph is
+    # contracted from scratch and the file rewritten.  A corrupt cache
+    # therefore costs one rebuild — it never changes the backend.
+    from .cache import (
+        ch_cache_path,
+        load_ch_preprocessing_outcome,
+        quarantine_cache_file,
+        save_ch_preprocessing,
+    )
 
     path = ch_cache_path(cache_dir, graph, hop_limit)
-    preprocessing = load_ch_preprocessing(path, graph, hop_limit)
-    if preprocessing is not None:
+    outcome = load_ch_preprocessing_outcome(path, graph, hop_limit)
+    load_failures = outcome.load_failures
+    corrupt = outcome.corrupt
+    oracle: CHOracle | None = None
+    if outcome.payload is not None:
         try:
-            return CHOracle(graph, preprocessing=preprocessing, **kwargs)
+            oracle = CHOracle(graph, preprocessing=outcome.payload, **kwargs)
         except ValueError:
-            pass
-    oracle = CHOracle(graph, **kwargs)
-    save_ch_preprocessing(path, oracle, graph)
+            # Parsed but semantically unusable: quarantine like any
+            # other rotten payload and rebuild.
+            load_failures += 1
+            corrupt = True
+            quarantine_cache_file(path)
+    if corrupt and degradations is not None:
+        degradations.record(
+            "oracle.cache",
+            "persisted-preprocessing",
+            "rebuild",
+            f"corrupt CH cache file {path.name!r} quarantined; "
+            f"re-contracting from scratch",
+        )
+    if oracle is None:
+        fault_point("oracle.ch.build")
+        oracle = CHOracle(graph, **kwargs)
+        try:
+            save_ch_preprocessing(path, oracle, graph)
+        except OSError as exc:
+            # Best effort: a run never fails because its cache could
+            # not be written — but the miss is recorded.
+            if degradations is not None:
+                degradations.record(
+                    "oracle.cache",
+                    "persist",
+                    "skip",
+                    f"CH cache save failed after retries: {exc}",
+                )
+    oracle.cache_load_failures = load_failures
     return oracle
 
 
@@ -115,6 +156,7 @@ def create_oracle(
     witness_hop_limit: int | None = None,
     cache_dir: str | None = None,
     seed: int = 0,
+    degradations: DegradationLog | None = None,
 ) -> DistanceOracle:
     """Instantiate a registered backend over ``graph``.
 
@@ -126,7 +168,10 @@ def create_oracle(
     the contraction-hierarchy backend's preprocessing; ``cache_dir``
     points the ``ch`` backend at an on-disk preprocessing cache keyed by
     a stable graph hash (see :mod:`repro.network.oracle.cache`), so warm
-    directories skip the contraction pass.
+    directories skip the contraction pass.  ``degradations`` is the
+    run's :class:`~repro.resilience.degradation.DegradationLog`;
+    factories record recoverable fallbacks (corrupt cache -> rebuild,
+    failed save -> skip) into it.
     """
     try:
         factory = ORACLE_BACKENDS[name]
@@ -145,6 +190,8 @@ def create_oracle(
         options["witness_hop_limit"] = witness_hop_limit
     if cache_dir is not None:
         options["cache_dir"] = cache_dir
+    if degradations is not None:
+        options["degradations"] = degradations
     return factory(graph, **options)
 
 
@@ -153,6 +200,7 @@ def configure_oracle(
     config: "SimulationConfig",
     nodes: Iterable[int] | None = None,
     reuse: bool = True,
+    degradations: DegradationLog | None = None,
 ) -> DistanceOracle:
     """Build the backend named by ``config`` and attach it to ``network``.
 
@@ -172,6 +220,16 @@ def configure_oracle(
         workload share warm caches — mirroring how the seed shared one
         Dijkstra cache.  An attached oracle whose settings differ from
         the config (e.g. a different ``oracle_cache_size``) is rebuilt.
+    degradations:
+        The run's degradation log.  When the requested backend's
+        *construction itself* fails (not a config error — e.g. CH
+        contraction dying on a pathological graph), the always-buildable
+        ``lazy`` backend is attached instead and the fallback recorded;
+        without a log, the construction error propagates unchanged.
+
+    A degraded stand-in stays sticky: the fallback oracle is tagged
+    with ``degraded_from`` so later ``reuse=True`` calls for the failed
+    backend keep it instead of re-running the failing build every time.
     """
     current = network.oracle
     if (
@@ -180,16 +238,44 @@ def configure_oracle(
         and _options_match(current, config)
     ):
         return current
-    oracle = create_oracle(
-        config.oracle_backend,
-        network.graph,
-        nodes=nodes,
-        cache_size=config.oracle_cache_size,
-        num_landmarks=config.oracle_landmarks,
-        witness_hop_limit=config.oracle_witness_hops,
-        cache_dir=config.oracle_cache_dir,
-        seed=config.seed,
-    )
+    if reuse and getattr(current, "degraded_from", None) == config.oracle_backend:
+        # The attached oracle is the recorded stand-in for the backend
+        # this config asks for — rebuilding would rerun the failing
+        # construction on every request.
+        return current
+    try:
+        oracle = create_oracle(
+            config.oracle_backend,
+            network.graph,
+            nodes=nodes,
+            cache_size=config.oracle_cache_size,
+            num_landmarks=config.oracle_landmarks,
+            witness_hop_limit=config.oracle_witness_hops,
+            cache_dir=config.oracle_cache_dir,
+            seed=config.seed,
+            degradations=degradations,
+        )
+    except ConfigurationError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - degrade, record, keep serving
+        if degradations is None or config.oracle_backend == "lazy":
+            raise
+        degradations.record(
+            "oracle.backend",
+            config.oracle_backend,
+            "lazy",
+            f"{config.oracle_backend!r} oracle construction failed "
+            f"({type(exc).__name__}: {exc}); serving exact answers from "
+            f"the lazy backend",
+        )
+        oracle = create_oracle(
+            "lazy",
+            network.graph,
+            nodes=nodes,
+            cache_size=config.oracle_cache_size,
+            seed=config.seed,
+        )
+        oracle.degraded_from = config.oracle_backend  # type: ignore[attr-defined]
     network.set_oracle(oracle)
     return oracle
 

@@ -1,0 +1,68 @@
+"""``repro.resilience`` — the stdlib-only fault-tolerance runtime.
+
+Four building blocks, threaded through the serve, api, oracle and
+dispatch layers:
+
+* **Deadlines & cancellation** (:mod:`~repro.resilience.cancellation`)
+  — a :class:`CancellationToken` the engine checks cooperatively at
+  tick boundaries; expiry or an explicit cancel raises
+  :class:`RunCancelled`, which unwinds cleanly (pools torn down,
+  partial timings preserved).
+* **Retry with backoff + jitter** (:mod:`~repro.resilience.retry`) —
+  a frozen :class:`RetryPolicy` applied at the runtime's transient
+  failure points (oracle cache IO, shard dispatch, session
+  preparation); jitter is seeded, so retried runs stay reproducible.
+* **Degradation chains** (:mod:`~repro.resilience.degradation`) —
+  recorded fallbacks (:class:`DegradationLog` travels with each run
+  into ``RunResult.degradations`` and ``/metrics``) plus a
+  per-identity :class:`CircuitBreaker` quarantining repeatedly failing
+  pooled sessions.
+* **Deterministic fault injection** (:mod:`~repro.resilience.faults`)
+  — seeded :class:`FaultInjector` schedules behind the
+  :func:`fault_point` hooks, powering the chaos property tests and
+  ``repro serve --inject-faults``.
+
+See ``docs/RESILIENCE.md`` for semantics and the failure-mode table.
+"""
+
+from .cancellation import CancellationToken, RunCancelled
+from .degradation import (
+    CircuitBreaker,
+    CircuitOpenError,
+    DegradationEvent,
+    DegradationLog,
+)
+from .faults import (
+    FaultInjector,
+    InjectedOSError,
+    InjectedRuntimeError,
+    active_injector,
+    corrupt_file_if_scheduled,
+    fault_point,
+    injected_faults,
+    install_injector,
+    uninstall_injector,
+)
+from .retry import DEFAULT_IO_POLICY, RetryPolicy, retry_call, retrying
+
+__all__ = [
+    "CancellationToken",
+    "RunCancelled",
+    "RetryPolicy",
+    "retry_call",
+    "retrying",
+    "DEFAULT_IO_POLICY",
+    "DegradationEvent",
+    "DegradationLog",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "FaultInjector",
+    "InjectedOSError",
+    "InjectedRuntimeError",
+    "fault_point",
+    "corrupt_file_if_scheduled",
+    "install_injector",
+    "uninstall_injector",
+    "active_injector",
+    "injected_faults",
+]

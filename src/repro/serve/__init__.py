@@ -27,11 +27,13 @@ see ``docs/SERVING.md`` for the endpoint reference and examples.
 from .batcher import BatchedNetworkView, OracleBatcher, batched_workload
 from .pool import SessionPool, pool_key
 from .protocol import (
+    CANCELLED,
     COMPLETED,
     FAILED,
     QUEUED,
     RUN_STATES,
     RUNNING,
+    TERMINAL_STATES,
     ProtocolError,
     RunRecord,
     parse_submission,
@@ -61,4 +63,6 @@ __all__ = [
     "RUNNING",
     "COMPLETED",
     "FAILED",
+    "CANCELLED",
+    "TERMINAL_STATES",
 ]

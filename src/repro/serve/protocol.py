@@ -27,8 +27,12 @@ QUEUED = "queued"
 RUNNING = "running"
 COMPLETED = "completed"
 FAILED = "failed"
+CANCELLED = "cancelled"
 
-RUN_STATES = (QUEUED, RUNNING, COMPLETED, FAILED)
+RUN_STATES = (QUEUED, RUNNING, COMPLETED, FAILED, CANCELLED)
+
+#: States a record can never leave.
+TERMINAL_STATES = frozenset({COMPLETED, FAILED, CANCELLED})
 
 #: Submission keys that are transport options, not spec fields.
 _SUBMIT_OPTION_KEYS = frozenset({"spec", "wait", "timeout"})
@@ -111,6 +115,9 @@ class RunRecord:
     attaches the result summary — but only ever mutated through the
     state methods below, which also stamp the timings and set the
     ``done`` event that pollers and the stdin ``wait`` option block on.
+    A small state lock makes the transitions race-free: a record in a
+    terminal state never changes again, so an executor thread finishing
+    a run and a transport thread cancelling it cannot both win.
     """
 
     run_id: str
@@ -122,22 +129,69 @@ class RunRecord:
     result: dict[str, Any] | None = None
     error: dict[str, Any] | None = None
     done: threading.Event = field(default_factory=threading.Event, repr=False)
+    cancellation: Any = field(default=None, repr=False)
+    _state_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False
+    )
+
+    def claim(self) -> bool:
+        """QUEUED → RUNNING, exactly once.
+
+        Returns ``False`` when the record already left the queue — a
+        cancel raced the executor and won; the run must not start.
+        """
+        with self._state_lock:
+            if self.status != QUEUED:
+                return False
+            self.status = RUNNING
+            self.started_at = time.time()
+            return True
 
     def mark_running(self) -> None:
-        self.status = RUNNING
-        self.started_at = time.time()
+        self.claim()
 
     def mark_completed(self, result: dict[str, Any]) -> None:
-        self.status = COMPLETED
-        self.finished_at = time.time()
-        self.result = result
-        self.done.set()
+        with self._state_lock:
+            if self.status in TERMINAL_STATES:
+                return
+            self.status = COMPLETED
+            self.finished_at = time.time()
+            self.result = result
+            self.done.set()
 
     def mark_failed(self, error: str, detail: str) -> None:
-        self.status = FAILED
-        self.finished_at = time.time()
-        self.error = {"error": error, "detail": detail}
-        self.done.set()
+        with self._state_lock:
+            if self.status in TERMINAL_STATES:
+                return
+            self.status = FAILED
+            self.finished_at = time.time()
+            self.error = {"error": error, "detail": detail}
+            self.done.set()
+
+    def mark_cancelled(
+        self, reason: str, partial: dict[str, Any] | None = None
+    ) -> None:
+        """Terminal ``cancelled`` state, keeping whatever partial survived."""
+        with self._state_lock:
+            if self.status in TERMINAL_STATES:
+                return
+            self.status = CANCELLED
+            self.finished_at = time.time()
+            self.error = {"error": "cancelled", "detail": reason}
+            if partial is not None:
+                self.result = partial
+            self.done.set()
+
+    def cancel_if_queued(self, reason: str) -> bool:
+        """Cancel a run that never started (QUEUED → CANCELLED)."""
+        with self._state_lock:
+            if self.status != QUEUED:
+                return False
+            self.status = CANCELLED
+            self.finished_at = time.time()
+            self.error = {"error": "cancelled", "detail": reason}
+            self.done.set()
+            return True
 
     @property
     def latency_seconds(self) -> float | None:

@@ -16,6 +16,9 @@ POST      ``/runs``          submit a ScenarioSpec JSON document; returns
 GET       ``/runs``          list retained run records (without results)
 GET       ``/runs/<id>``     one run record, result included when finished
 GET       ``/runs/<id>/events``  the run's retained progress events
+POST      ``/runs/<id>/cancel``  cancel a queued run now, or ask a
+                             running one to stop at its next tick
+                             boundary; returns 202 + the record
 GET       ``/metrics``       pool / batcher / queue / latency counters
 GET       ``/healthz``       liveness probe
 POST      ``/shutdown``      drain in-flight runs and stop the server
@@ -31,7 +34,8 @@ bounded executor runs them, and ``wait`` blocks in a side thread via
 pipelines and CI: one JSON request per line on stdin, one JSON reply
 per line on stdout.  ``{"op": "submit", "spec": {...}, "wait": true}``
 submits (and optionally blocks), ``poll``/``events``/``metrics``/
-``list`` observe, ``shutdown`` drains and exits the loop.
+``list`` observe, ``cancel`` stops a run, ``shutdown`` drains and
+exits the loop.
 """
 
 from __future__ import annotations
@@ -55,6 +59,8 @@ _STATUS_PHRASES = {
     404: "Not Found",
     405: "Method Not Allowed",
     408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -129,29 +135,37 @@ class ScenarioServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            status, payload = await self._handle_request(reader)
-        except ProtocolError as exc:
-            status, payload = exc.status, exc.payload
-        except Exception as exc:  # noqa: BLE001 - a bad request must not kill the loop
-            status, payload = 500, {
-                "error": "internal-error",
-                "detail": f"{type(exc).__name__}: {exc}",
-                "status": 500,
-            }
-        body = json_bytes(payload)
-        phrase = _STATUS_PHRASES.get(status, "Unknown")
-        head = (
-            f"HTTP/1.1 {status} {phrase}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n"
-        )
-        try:
-            writer.write(head.encode("ascii") + body)
-            await writer.drain()
-        finally:
-            writer.close()
             try:
+                status, payload = await self._handle_request(reader)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                # The client vanished mid-request (closed the socket
+                # before sending the promised body); nobody is left to
+                # answer — tear the connection down cleanly and move on.
+                return
+            except ProtocolError as exc:
+                status, payload = exc.status, exc.payload
+            except Exception as exc:  # noqa: BLE001 - a bad request must not kill the loop
+                status, payload = 500, {
+                    "error": "internal-error",
+                    "detail": f"{type(exc).__name__}: {exc}",
+                    "status": 500,
+                }
+            body = json_bytes(payload)
+            phrase = _STATUS_PHRASES.get(status, "Unknown")
+            head = (
+                f"HTTP/1.1 {status} {phrase}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            try:
+                writer.write(head.encode("ascii") + body)
+                await writer.drain()
+            except (ConnectionError, OSError):  # pragma: no cover - client gone
+                pass
+        finally:
+            try:
+                writer.close()
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover - client gone
                 pass
@@ -181,9 +195,18 @@ class ScenarioServer:
                     raise ProtocolError(
                         400, "invalid-request", "malformed Content-Length"
                     )
+                if content_length < 0:
+                    raise ProtocolError(
+                        400, "invalid-request", "negative Content-Length"
+                    )
         if content_length > MAX_BODY_BYTES:
+            # Refuse before reading a byte of the body: an oversized
+            # announcement must not make the server buffer it.
             raise ProtocolError(
-                400, "invalid-request", f"body exceeds {MAX_BODY_BYTES} bytes"
+                413,
+                "payload-too-large",
+                f"body of {content_length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit",
             )
         body = await reader.readexactly(content_length) if content_length else b""
         split = urlsplit(target)
@@ -215,9 +238,17 @@ class ScenarioServer:
                 ]
             }
         if path.startswith("/runs/"):
+            rest = path[len("/runs/"):]
+            if rest.endswith("/cancel"):
+                if method != "POST":
+                    raise ProtocolError(
+                        405, "method-not-allowed", f"{method} {path}"
+                    )
+                run_id = rest[: -len("/cancel")]
+                record = self._service.cancel(run_id)
+                return 202, record.as_dict(include_result=False)
             if method != "GET":
                 raise ProtocolError(405, "method-not-allowed", f"{method} {path}")
-            rest = path[len("/runs/"):]
             if rest.endswith("/events"):
                 run_id = rest[: -len("/events")]
                 return 200, {"run_id": run_id, "events": self._service.events(run_id)}
@@ -348,6 +379,8 @@ def _handle_stdin_request(service: ScenarioService, line: str) -> dict[str, Any]
         return _record_reply(record)
     if op == "poll":
         return _record_reply(service.get(_required_run_id(request)))
+    if op == "cancel":
+        return _record_reply(service.cancel(_required_run_id(request)))
     if op == "wait":
         record = service.wait(_required_run_id(request), request.get("timeout"))
         if not record.done.is_set():
@@ -373,8 +406,8 @@ def _handle_stdin_request(service: ScenarioService, line: str) -> dict[str, Any]
     raise ProtocolError(
         400,
         "unknown-op",
-        f"unknown op {op!r}; expected submit/poll/wait/events/list/"
-        f"metrics/shutdown",
+        f"unknown op {op!r}; expected submit/poll/cancel/wait/events/"
+        f"list/metrics/shutdown",
     )
 
 

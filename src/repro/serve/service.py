@@ -27,14 +27,20 @@ from typing import Any, Mapping
 from ..api import RunResult, ScenarioSpec, Session
 from ..exceptions import ConfigurationError, ReproError
 from ..network.graph import RoadNetwork
+from ..resilience.cancellation import CancellationToken, RunCancelled
+from ..resilience.degradation import CircuitOpenError, DegradationLog
+from ..resilience.faults import fault_point
+from ..resilience.retry import RetryPolicy, retry_call
 from ..simulation.hooks import CompositeHooks, SimulationHooks
 from .batcher import OracleBatcher, batched_workload
 from .pool import DEFAULT_MAX_SESSIONS, SessionPool
 from .protocol import (
+    CANCELLED,
     COMPLETED,
     FAILED,
     QUEUED,
     RUNNING,
+    TERMINAL_STATES,
     ProtocolError,
     RunRecord,
     parse_submission,
@@ -47,6 +53,13 @@ DEFAULT_MAX_RUNS = 2
 
 #: Default bound on finished run records kept queryable.
 DEFAULT_MAX_RECORDS = 1024
+
+#: Transient preparation failures (unreadable cache volumes, racing
+#: CSV readers) get one quick retry before counting against the pool
+#: entry's circuit breaker.
+PREPARE_RETRY_POLICY = RetryPolicy(
+    max_attempts=2, base_delay=0.05, max_delay=0.5, retry_on=(OSError,)
+)
 
 
 class ScenarioService:
@@ -70,6 +83,15 @@ class ScenarioService:
     store_events:
         Events retained in memory per run (``GET /runs/<id>`` shows
         the tail); ``0`` disables the in-memory event store.
+    max_queue:
+        Bound on *queued* (accepted, not yet running) runs.  A full
+        queue refuses further submissions with a 429-shaped
+        ``overloaded`` error instead of accepting unbounded work;
+        ``None`` keeps the queue unbounded.
+    default_deadline:
+        Wall-clock budget (seconds) applied to every run whose spec
+        does not set its own ``deadline_seconds``; ``None`` means runs
+        without a spec deadline are unlimited.
     """
 
     def __init__(
@@ -81,6 +103,8 @@ class ScenarioService:
         oracle_cache_dir: str | None = None,
         store_events: int = 1000,
         max_records: int = DEFAULT_MAX_RECORDS,
+        max_queue: int | None = None,
+        default_deadline: float | None = None,
     ) -> None:
         if max_runs < 1:
             raise ValueError("max_runs must be at least 1")
@@ -88,6 +112,12 @@ class ScenarioService:
             raise ValueError("store_events must be non-negative")
         if max_records < 1:
             raise ValueError("max_records must be at least 1")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be at least 1 (or None)")
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError("default_deadline must be positive (or None)")
+        self._max_queue = max_queue
+        self._default_deadline = default_deadline
         self._pool = SessionPool(max_sessions, oracle_cache_dir=oracle_cache_dir)
         self._executor = ThreadPoolExecutor(
             max_workers=max_runs, thread_name_prefix="serve-run"
@@ -105,6 +135,10 @@ class ScenarioService:
         self._closed = False
         # Per-backend oracle counters accumulated from finished runs.
         self._oracle_counters: dict[str, dict[str, float]] = {}
+        #: Submissions refused because the admission queue was full.
+        self._rejected_total = 0
+        #: Degradation events folded from finished runs, keyed by site.
+        self._degradation_counters: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # submission
@@ -121,14 +155,49 @@ class ScenarioService:
         return self.submit_spec(spec)
 
     def submit_spec(self, spec: ScenarioSpec) -> RunRecord:
-        """Enqueue an already validated spec (the programmatic door)."""
+        """Enqueue an already validated spec (the programmatic door).
+
+        Refuses structurally before queuing work it cannot serve: a
+        full admission queue comes back as a 429-shaped ``overloaded``
+        error, and an identity whose session-pool circuit breaker is
+        open as a 503-shaped ``session-quarantined`` error.
+        """
+        if self._pool.is_quarantined(spec):
+            raise ProtocolError(
+                503,
+                "session-quarantined",
+                "session preparation for this scenario identity keeps "
+                "failing and is quarantined; retry after the breaker's "
+                "cool-down",
+            )
         with self._lock:
             if self._closed:
                 raise ProtocolError(
                     503, "shutting-down", "the service is shutting down"
                 )
+            if self._max_queue is not None:
+                queued = sum(
+                    1
+                    for run_id in self._record_order
+                    if self._records[run_id].status == QUEUED
+                )
+                if queued >= self._max_queue:
+                    self._rejected_total += 1
+                    raise ProtocolError(
+                        429,
+                        "overloaded",
+                        f"the admission queue is full ({queued} queued, "
+                        f"bound {self._max_queue}); retry later",
+                    )
             run_id = f"run-{next(self._run_ids):06d}"
-            record = RunRecord(run_id=run_id, spec=spec)
+            deadline = spec.deadline_seconds
+            if deadline is None:
+                deadline = self._default_deadline
+            record = RunRecord(
+                run_id=run_id,
+                spec=spec,
+                cancellation=CancellationToken(deadline),
+            )
             self._records[run_id] = record
             self._record_order.append(run_id)
             self._evict_records()
@@ -144,7 +213,7 @@ class ScenarioService:
         while len(self._record_order) > self._max_records:
             for index, run_id in enumerate(self._record_order):
                 record = self._records[run_id]
-                if record.status in (COMPLETED, FAILED):
+                if record.status in TERMINAL_STATES:
                     del self._record_order[index]
                     del self._records[run_id]
                     self._event_stores.pop(run_id, None)
@@ -156,9 +225,18 @@ class ScenarioService:
     # execution
     # ------------------------------------------------------------------
     def _execute(self, record: RunRecord) -> None:
-        record.mark_running()
+        if not record.claim():
+            # A cancel won the race while the run sat in the queue.
+            return
         try:
             result = self._run(record)
+        except RunCancelled as exc:
+            partial = getattr(exc, "partial", None)
+            record.mark_cancelled(exc.reason, partial)
+            if partial is not None:
+                self._fold_degradations(partial.get("degradations") or ())
+        except CircuitOpenError as exc:
+            record.mark_failed("session-quarantined", str(exc))
         except ProtocolError as exc:
             record.mark_failed(exc.error, exc.detail)
         except ConfigurationError as exc:
@@ -174,13 +252,32 @@ class ScenarioService:
         else:
             record.mark_completed(self._summarise(result))
             self._fold_oracle_counters(result)
+            self._fold_degradations(result.degradations)
 
     def _run(self, record: RunRecord) -> RunResult:
         spec = record.spec
         session = self._pool.acquire(spec)
+        # One log spans preparation and the run so fallbacks taken while
+        # standing the oracle up (corrupt-cache rebuild, CH demoted to
+        # lazy) surface in the run's result and the service metrics.
+        degradations = DegradationLog()
+
+        def prepare():
+            # The injectable fault site sits inside the retried call, so
+            # a scheduled ``fail_first`` exercises exactly this path.
+            fault_point("session.prepare")
+            return session.prepare(spec, degradations=degradations)
+
         # Thread-safe preparation: concurrent requests for one
         # network/oracle identity block here while the first builds.
-        workload = session.prepare(spec)
+        # Transient IO failures get one quick retry; a failure that
+        # survives it counts against the identity's circuit breaker.
+        try:
+            workload = retry_call(prepare, policy=PREPARE_RETRY_POLICY)
+        except Exception:
+            self._pool.record_failure(spec)
+            raise
+        self._pool.record_success(spec)
         batcher = self._batcher_for(workload.network)
         run_workload = batched_workload(workload, batcher)
         provider = None
@@ -192,7 +289,12 @@ class ScenarioService:
             provider = session.expect_provider(spec)
         hooks = self._hooks_for(record)
         return session.run(
-            spec, hooks=hooks, workload=run_workload, provider=provider
+            spec,
+            hooks=hooks,
+            workload=run_workload,
+            provider=provider,
+            cancellation=record.cancellation,
+            degradations=degradations,
         )
 
     def _batcher_for(self, network: RoadNetwork) -> OracleBatcher:
@@ -230,7 +332,16 @@ class ScenarioService:
             "graph_hash": result.graph_hash,
             "timings": dict(result.timings),
             "oracle_stats": dict(oracle_stats) if oracle_stats else None,
+            "degradations": [dict(event) for event in result.degradations],
         }
+
+    def _fold_degradations(self, events) -> None:
+        with self._lock:
+            for event in events:
+                site = event.get("site", "unknown") if isinstance(event, Mapping) else "unknown"
+                self._degradation_counters[site] = (
+                    self._degradation_counters.get(site, 0) + 1
+                )
 
     def _fold_oracle_counters(self, result: RunResult) -> None:
         stats = result.oracle_stats
@@ -262,6 +373,21 @@ class ScenarioService:
         record.done.wait(timeout)
         return record
 
+    def cancel(self, run_id: str, reason: str = "cancelled by request") -> RunRecord:
+        """Request cancellation of a queued or running run.
+
+        A queued run is cancelled immediately (the executor's claim
+        then no-ops); a running run is asked to stop at its next tick
+        boundary — the record reaches ``cancelled`` when the engine
+        unwinds.  Cancelling a finished run changes nothing.
+        """
+        record = self.get(run_id)
+        if record.cancel_if_queued(reason):
+            return record
+        if record.cancellation is not None:
+            record.cancellation.cancel(reason)
+        return record
+
     def events(self, run_id: str) -> list[dict[str, Any]]:
         """The retained event stream of one run (empty if disabled)."""
         self.get(run_id)  # 404 on unknown ids, even with the store off
@@ -283,7 +409,11 @@ class ScenarioService:
                 backend: dict(counters)
                 for backend, counters in self._oracle_counters.items()
             }
-        by_status = {state: 0 for state in (QUEUED, RUNNING, COMPLETED, FAILED)}
+            rejected_total = self._rejected_total
+            degradations = dict(self._degradation_counters)
+        by_status = {
+            state: 0 for state in (QUEUED, RUNNING, COMPLETED, FAILED, CANCELLED)
+        }
         latencies = []
         for record in records:
             by_status[record.status] = by_status.get(record.status, 0) + 1
@@ -296,7 +426,11 @@ class ScenarioService:
         return {
             "runs": by_status,
             "queue_depth": by_status[QUEUED],
+            "max_queue": self._max_queue,
+            "rejected_total": rejected_total,
             "max_concurrent_runs": self._max_runs,
+            "default_deadline_seconds": self._default_deadline,
+            "degradations": degradations,
             "pool": self._pool.stats(),
             "batcher": batcher_total,
             "oracle": oracle_counters,

@@ -19,6 +19,8 @@ from dataclasses import dataclass
 from ..config import SimulationConfig
 from ..datasets.synthetic import Workload
 from ..network.oracle import configure_oracle
+from ..resilience.cancellation import CancellationToken
+from ..resilience.degradation import DegradationLog
 from .dispatcher import Dispatcher, DispatchResult
 from .hooks import SimulationHooks
 from .metrics import MetricsCollector, SimulationMetrics
@@ -55,6 +57,18 @@ class Simulator:
         arrivals, periodic checks and final assignments.  Hook calls
         run outside the algorithm timer, so a slow observer never
         distorts the Running Time metric.
+    cancellation:
+        Optional :class:`~repro.resilience.cancellation.
+        CancellationToken` checked cooperatively at every tick boundary
+        and before every order submission; a cancelled token (explicit
+        or deadline expiry) raises
+        :class:`~repro.resilience.cancellation.RunCancelled`, which
+        unwinds through ``run()``'s ``finally`` — the dispatch engine
+        is torn down, nothing leaks.
+    degradations:
+        Optional :class:`~repro.resilience.degradation.DegradationLog`
+        handed to the oracle attach and the parallel dispatch engine so
+        their fallbacks are recorded against this run.
     """
 
     def __init__(
@@ -63,18 +77,27 @@ class Simulator:
         dispatcher: Dispatcher,
         config: SimulationConfig,
         hooks: SimulationHooks | None = None,
+        *,
+        cancellation: CancellationToken | None = None,
+        degradations: DegradationLog | None = None,
     ) -> None:
         self._workload = workload
         self._dispatcher = dispatcher
         self._config = config
         self._hooks = hooks
+        self._cancellation = cancellation
+        self._degradations = degradations
         # The config names the distance-oracle backend; attach it here so
         # every entry point (run_simulation, direct Simulator use, the
         # experiment runner) honours it.  A matching oracle that is
         # already attached is reused, keeping caches warm across the
         # algorithms compared over one workload.
         configure_oracle(
-            workload.network, config, nodes=workload.active_nodes(), reuse=True
+            workload.network,
+            config,
+            nodes=workload.active_nodes(),
+            reuse=True,
+            degradations=degradations,
         )
         self._collector = MetricsCollector(
             weights=config.weights, penalty_factor=config.penalty_factor
@@ -116,6 +139,7 @@ class Simulator:
             self._workload.network,
             num_shards=self._config.dispatch_workers,
             mode=self._config.dispatch_mode,
+            degradations=self._degradations,
         )
         attach_fleet(self._engine)
         attach_dispatcher(self._engine)
@@ -142,6 +166,11 @@ class Simulator:
         self._engine = None
 
     def _run(self) -> SimulationResult:
+        if self._cancellation is not None:
+            # The deadline clock starts when the run starts executing —
+            # queue time never eats a run's budget (idempotent: the
+            # serving layer may have started it already).
+            self._cancellation.start()
         algorithm_time = 0.0
         check_period = self._config.check_period
         next_check = check_period
@@ -150,8 +179,10 @@ class Simulator:
             release = order.release_time
             # Run any periodic checks that fall before this order's release.
             while next_check <= release:
+                self._check_cancelled()
                 algorithm_time += self._timed_tick(next_check)
                 next_check += check_period
+            self._check_cancelled()
             if self._hooks is not None:
                 self._hooks.on_order_arrival(order, release)
             started = time.perf_counter()
@@ -162,6 +193,7 @@ class Simulator:
         # longest possible wait so pooled orders get their final decisions.
         end_time = self._end_of_activity()
         while next_check <= end_time:
+            self._check_cancelled()
             algorithm_time += self._timed_tick(next_check)
             next_check += check_period
         started = time.perf_counter()
@@ -182,6 +214,11 @@ class Simulator:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _check_cancelled(self) -> None:
+        """The cooperative cancellation checkpoint (tick boundaries)."""
+        if self._cancellation is not None:
+            self._cancellation.check()
+
     def _timed_tick(self, now: float) -> float:
         started = time.perf_counter()
         result = self._dispatcher.tick(now)
@@ -240,6 +277,16 @@ def run_simulation(
     dispatcher: Dispatcher,
     config: SimulationConfig,
     hooks: SimulationHooks | None = None,
+    *,
+    cancellation: CancellationToken | None = None,
+    degradations: DegradationLog | None = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`Simulator`."""
-    return Simulator(workload, dispatcher, config, hooks=hooks).run()
+    return Simulator(
+        workload,
+        dispatcher,
+        config,
+        hooks=hooks,
+        cancellation=cancellation,
+        degradations=degradations,
+    ).run()

@@ -76,10 +76,12 @@ from __future__ import annotations
 import os
 import threading
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, Future, ThreadPoolExecutor
 from typing import Any, Iterable, Mapping, Sequence, TYPE_CHECKING
 
 from ..exceptions import ConfigurationError
+from ..resilience.degradation import DegradationLog
+from ..resilience.faults import fault_point
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..network.graph import RoadNetwork
@@ -182,9 +184,9 @@ def usable_cpu_count() -> int:
 
 #: Network handle a forked shard worker answers queries with.  Each
 #: worker's initializer binds it (the ``fork`` start method hands the
-#: initargs over by memory inheritance, never by pickling), so even a
-#: worker the pool respawns mid-run — they re-fork from the parent —
-#: gets the binding before its first task.
+#: initargs over by memory inheritance, never by pickling), so workers
+#: of a freshly restarted executor — they re-fork from the parent —
+#: get the binding before their first task.
 _SHARD_NETWORK: "RoadNetwork | None" = None
 
 
@@ -199,8 +201,12 @@ def _shard_task(sources: list[int], targets: list[int]):
 
     Runs inside a forked worker against its own oracle handle; returns
     the answered pairs plus the oracle-counter delta this task caused,
-    so the parent can fold per-shard work into the run's stats.
+    so the parent can fold per-shard work into the run's stats.  The
+    ``dispatch.shard`` fault point fires here (the injector is
+    fork-inherited), which is how the chaos tests kill workers
+    mid-check deterministically.
     """
+    fault_point("dispatch.shard")
     network = _SHARD_NETWORK
     assert network is not None, "shard worker forked without a network"
     before = network.oracle_stats()
@@ -229,6 +235,15 @@ class ParallelDispatchEngine:
         machine-independent.
     mode:
         ``"thread"`` (default) or ``"process"`` (see module docstring).
+    degradations:
+        Optional :class:`~repro.resilience.degradation.DegradationLog`
+        the engine records its fallbacks into (process -> thread when
+        fork is unavailable, process -> serial on repeated worker
+        death, per-shard serial recomputation on a failed shard task).
+    max_pool_restarts:
+        How many times a process pool whose worker died may be
+        restarted before the engine degrades to serial execution for
+        the rest of the run.
     """
 
     def __init__(
@@ -236,6 +251,9 @@ class ParallelDispatchEngine:
         network: "RoadNetwork",
         num_shards: int,
         mode: str = "thread",
+        *,
+        degradations: DegradationLog | None = None,
+        max_pool_restarts: int = 1,
     ) -> None:
         if num_shards < 1:
             raise ConfigurationError("num_shards must be at least 1")
@@ -243,19 +261,26 @@ class ParallelDispatchEngine:
             raise ConfigurationError(
                 f"unknown dispatch mode {mode!r}; expected one of {DISPATCH_MODES}"
             )
+        if max_pool_restarts < 0:
+            raise ConfigurationError("max_pool_restarts must be non-negative")
         self._network = network
         self.num_shards = num_shards
         self.requested_mode = mode
         #: What actually runs: ``process`` falls back to ``thread`` when
         #: the platform cannot fork, and a single shard starts no pool
         #: at all — reported as ``inline`` so stats never claim a pool
-        #: that does not exist.
+        #: that does not exist.  Repeated worker death degrades a live
+        #: process pool to ``serial`` mid-run.
         self.effective_mode = mode if num_shards > 1 else "inline"
-        # ``multiprocessing.pool.Pool`` when process shards are live;
-        # typed loosely because multiprocessing is imported lazily.
+        # ``concurrent.futures.ProcessPoolExecutor`` when process shards
+        # are live; abrupt worker death surfaces as BrokenExecutor on
+        # the pending futures instead of hanging them, which is what
+        # makes the retry/degrade chain below possible.
         self._pool: Any = None
         self._executor: ThreadPoolExecutor | None = None
         self._closed = False
+        self._degradations = degradations
+        self._max_pool_restarts = max_pool_restarts
         # Thread-mode shard tasks serialise behind this lock unless the
         # backend declares its queries thread-safe.
         self._oracle_lock = threading.Lock()
@@ -275,6 +300,13 @@ class ParallelDispatchEngine:
         self._overlay_hits = 0
         self._overlay_misses = 0
         self._shard_counters: dict[str, float] = {}
+        # Resilience counters: broken-pool batches observed, pool
+        # restarts performed, failed shard tasks, and shards the parent
+        # answered serially after retries ran out.
+        self._worker_deaths = 0
+        self._pool_restarts = 0
+        self._shard_failures = 0
+        self._serial_fallbacks = 0
         if num_shards > 1:
             if mode == "process":
                 self._start_process_pool()
@@ -294,17 +326,57 @@ class ParallelDispatchEngine:
             # No copy-on-write oracle handles without fork; degrade to
             # the always-safe thread mode instead of failing the run.
             self.effective_mode = "thread"
+            self._record_degradation(
+                "dispatch.mode",
+                "process",
+                "thread",
+                "fork start method unavailable on this platform",
+            )
             self._executor = ThreadPoolExecutor(
                 max_workers=self.num_shards,
                 thread_name_prefix="dispatch-shard",
             )
             return
         context = multiprocessing.get_context("fork")
-        self._pool = context.Pool(
-            processes=self.num_shards,
+        from concurrent.futures import ProcessPoolExecutor
+
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.num_shards,
+            mp_context=context,
             initializer=_init_shard_worker,
             initargs=(self._network,),
         )
+
+    def _restart_process_pool(self) -> None:
+        """Replace a broken executor with a freshly forked one."""
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._pool_restarts += 1
+        self._start_process_pool()
+
+    def _degrade_to_serial(self, reason: str) -> None:
+        """Give the pool up for the rest of the run; answers go serial.
+
+        ``prefetch_worthwhile`` turns false (dispatchers stop
+        prefetching), retained overlay entries keep serving — their
+        values are the exact serial answers — and any in-flight
+        prefetch finishes by computing its remaining shards in the
+        parent.
+        """
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        self.effective_mode = "serial"
+        self._record_degradation("dispatch.mode", "process", "serial", reason)
+
+    def _record_degradation(
+        self, site: str, from_value: str, to_value: str, reason: str
+    ) -> None:
+        if self._degradations is not None:
+            self._degradations.record(site, from_value, to_value, reason)
 
     def close(self) -> None:
         """Shut the worker pool down; later calls run inline (idempotent)."""
@@ -312,8 +384,7 @@ class ParallelDispatchEngine:
             return
         self._closed = True
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
         if self._executor is not None:
             self._executor.shutdown(wait=True)
@@ -367,7 +438,11 @@ class ParallelDispatchEngine:
             self._closed
             or self.num_shards == 1
             or len(target_list) < _MIN_TARGETS_TO_SHARD
+            or (self._pool is None and self._executor is None)
         ):
+            # The last clause is the degraded-to-serial engine: no pool
+            # left, answers computed inline (still exact, still merged
+            # into the overlay path callers read from).
             merged = self._network.travel_times_many(source_list, target_list)
         else:
             chunks = [
@@ -387,18 +462,80 @@ class ParallelDispatchEngine:
     def _run_process_shards(
         self, sources: list[int], chunks: list[list[int]]
     ) -> list[dict[tuple[int, int], float]]:
-        assert self._pool is not None
-        futures = [
-            self._pool.apply_async(_shard_task, (sources, chunk))
-            for chunk in chunks
-        ]
-        self._shard_tasks += len(futures)
-        shard_maps: list[dict[tuple[int, int], float]] = []
-        for future in futures:
-            result, delta = future.get()
-            shard_maps.append(result)
-            self._fold_counters(delta)
-        return shard_maps
+        """Answer every chunk, surviving worker death and task failure.
+
+        The retry/degrade chain, in order: a *failed task* (its worker
+        lived, the task raised) is retried once on the pool; a *dead
+        worker* breaks the executor for every pending future at once,
+        so the pool is restarted (bounded by ``max_pool_restarts``) and
+        the unanswered chunks resubmitted; past those budgets the
+        remaining chunks are answered serially in the parent — the
+        exact same call a serial run makes, so the merged result (and
+        every downstream assignment) is unchanged.  Shards always
+        return in chunk order: determinism is never traded for
+        recovery.
+        """
+        results: list[dict[tuple[int, int], float] | None] = [None] * len(chunks)
+        pending = list(range(len(chunks)))
+        attempts = 0
+        while pending and self._pool is not None and attempts <= 1 + self._max_pool_restarts:
+            attempts += 1
+            futures: dict[int, Future] = {}
+            try:
+                for index in pending:
+                    futures[index] = self._pool.submit(
+                        _shard_task, sources, chunks[index]
+                    )
+            except BrokenExecutor:
+                # The pool broke between batches; pending stays as is
+                # and the broken-pool handling below takes over.
+                pass
+            self._shard_tasks += len(futures)
+            failed: list[int] = []
+            broken = len(futures) < len(pending)
+            for index in sorted(futures):
+                try:
+                    result, delta = futures[index].result()
+                except BrokenExecutor:
+                    broken = True
+                    failed.append(index)
+                except (OSError, RuntimeError) as exc:
+                    # The task raised in a live worker (a transient
+                    # oracle error, an injected fault): retry it.
+                    self._shard_failures += 1
+                    self._record_degradation(
+                        "dispatch.shard",
+                        "process",
+                        "retry",
+                        f"shard task failed ({type(exc).__name__}: {exc})",
+                    )
+                    failed.append(index)
+                else:
+                    results[index] = result
+                    self._fold_counters(delta)
+            # Chunks that never got submitted (the pool broke mid-batch)
+            # are still pending too.
+            failed.extend(index for index in pending if index not in futures)
+            pending = sorted(set(failed))
+            if not pending:
+                return [result for result in results if result is not None]
+            if broken:
+                self._worker_deaths += 1
+                if self._pool_restarts < self._max_pool_restarts:
+                    self._restart_process_pool()
+                else:
+                    self._degrade_to_serial(
+                        f"shard worker died and the restart budget "
+                        f"({self._max_pool_restarts}) is spent"
+                    )
+        # Retries ran out (or the pool is gone): the parent answers the
+        # remaining chunks itself — the exact serial computation.
+        for index in pending:
+            self._serial_fallbacks += 1
+            results[index] = self._network.travel_times_many(
+                sources, chunks[index]
+            )
+        return [result for result in results if result is not None]
 
     def _run_thread_shards(
         self, sources: list[int], chunks: list[list[int]]
@@ -411,6 +548,7 @@ class ParallelDispatchEngine:
         )
 
         def task(chunk: list[int]) -> dict[tuple[int, int], float]:
+            fault_point("dispatch.shard")
             if lock is None:
                 return self._network.travel_times_many(sources, chunk)
             with lock:
@@ -420,7 +558,27 @@ class ParallelDispatchEngine:
         futures = [self._executor.submit(task, chunk) for chunk in chunks]
         self._shard_tasks += len(futures)
         # Collected in shard order, not completion order: determinism.
-        return [future.result() for future in futures]
+        shard_maps: list[dict[tuple[int, int], float]] = []
+        for future, chunk in zip(futures, chunks):
+            try:
+                shard_maps.append(future.result())
+            except (OSError, RuntimeError) as exc:
+                # A failed thread shard is recomputed serially in place
+                # — same values, same order, one recorded degradation.
+                self._shard_failures += 1
+                self._serial_fallbacks += 1
+                self._record_degradation(
+                    "dispatch.shard",
+                    "thread",
+                    "serial",
+                    f"shard task failed ({type(exc).__name__}: {exc}); "
+                    f"recomputed serially",
+                )
+                with self._oracle_lock:
+                    shard_maps.append(
+                        self._network.travel_times_many(sources, chunk)
+                    )
+        return shard_maps
 
     # ------------------------------------------------------------------
     # overlay-backed batched queries (the fleet's path)
@@ -530,6 +688,10 @@ class ParallelDispatchEngine:
             "shard_tasks": self._shard_tasks,
             "overlay_hits": self._overlay_hits,
             "overlay_misses": self._overlay_misses,
+            "worker_deaths": self._worker_deaths,
+            "pool_restarts": self._pool_restarts,
+            "shard_failures": self._shard_failures,
+            "shard_serial_fallbacks": self._serial_fallbacks,
         }
         for key, value in sorted(self._shard_counters.items()):
             stats[f"shard_{key}"] = value

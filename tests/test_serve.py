@@ -24,6 +24,7 @@ import pytest
 from repro.api import ScenarioSpec, run_scenario
 from repro.network.generators import grid_city
 from repro.serve import (
+    CANCELLED,
     COMPLETED,
     FAILED,
     QUEUED,
@@ -499,6 +500,97 @@ class TestHttpServer:
             time.sleep(0.01)
         assert not loop.is_running()
 
+    @staticmethod
+    def _raw_request(address, payload: bytes, *, close_early: bool = False):
+        """Speak raw HTTP over a socket (for requests urllib refuses to send)."""
+        import socket
+
+        host, port = address
+        with socket.create_connection((host, port), timeout=_WAIT) as sock:
+            sock.sendall(payload)
+            if close_early:
+                return None, None  # hang up mid-request, no response read
+            sock.shutdown(socket.SHUT_WR)
+            data = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        head, _, body = data.partition(b"\r\n\r\n")
+        status = int(head.split()[1])
+        return status, json.loads(body) if body else None
+
+    def test_cancel_endpoint(self, http_server):
+        address, _server, _loop = http_server
+        status, body = self._request(
+            address, "POST", "/runs", _grid_spec().to_dict()
+        )
+        assert status == 202
+        run_id = body["run_id"]
+        status, body = self._request(address, "POST", f"/runs/{run_id}/cancel")
+        assert status == 202
+        assert body["run_id"] == run_id
+        deadline = time.monotonic() + _WAIT
+        while time.monotonic() < deadline:
+            status, body = self._request(address, "GET", f"/runs/{run_id}")
+            if body["status"] in (CANCELLED, COMPLETED):
+                break
+            time.sleep(0.01)
+        # The run either never started (cancelled in the queue) or won
+        # the race and finished; both are clean terminal states.
+        assert body["status"] in (CANCELLED, COMPLETED)
+
+    def test_cancel_unknown_run_is_404(self, http_server):
+        address, _server, _loop = http_server
+        status, body = self._request(
+            address, "POST", "/runs/run-999999/cancel"
+        )
+        assert status == 404
+        assert body["error"] == "unknown-run"
+
+    def test_malformed_content_length_is_400(self, http_server):
+        address, _server, _loop = http_server
+        status, body = self._raw_request(
+            address,
+            b"POST /runs HTTP/1.1\r\nHost: x\r\nContent-Length: banana\r\n\r\n",
+        )
+        assert status == 400
+        assert body["error"] == "invalid-request"
+        assert "Content-Length" in body["detail"]
+
+    def test_negative_content_length_is_400(self, http_server):
+        address, _server, _loop = http_server
+        status, body = self._raw_request(
+            address,
+            b"POST /runs HTTP/1.1\r\nHost: x\r\nContent-Length: -5\r\n\r\n",
+        )
+        assert status == 400
+        assert body["error"] == "invalid-request"
+
+    def test_oversized_body_is_413_without_reading_it(self, http_server):
+        address, _server, _loop = http_server
+        status, body = self._raw_request(
+            address,
+            b"POST /runs HTTP/1.1\r\nHost: x\r\nContent-Length: 2000000\r\n\r\n",
+        )
+        assert status == 413
+        assert body["error"] == "payload-too-large"
+
+    def test_client_disconnect_mid_request_leaves_server_healthy(
+        self, http_server
+    ):
+        address, _server, _loop = http_server
+        # Promise a body, send half a request line, hang up abruptly.
+        self._raw_request(
+            address,
+            b"POST /runs HTTP/1.1\r\nContent-Length: 100\r\n\r\n{\"par",
+            close_early=True,
+        )
+        self._raw_request(address, b"GET /runs", close_early=True)
+        status, body = self._request(address, "GET", "/healthz")
+        assert (status, body) == (200, {"status": "ok"})
+
 
 # ----------------------------------------------------------------------
 # stdin JSON-lines transport
@@ -550,6 +642,25 @@ class TestStdinTransport:
         assert poll["status"] == COMPLETED
         assert events["events"][-1]["event"] == "run_end"
         assert [run["run_id"] for run in listing["runs"]] == ["run-000001"]
+
+    def test_cancel_op(self):
+        served, replies, _service = self._drive(
+            [
+                {"op": "submit", "spec": _grid_spec().to_dict()},
+                {"op": "cancel", "run_id": "run-000001"},
+                {"op": "shutdown"},
+            ]
+        )
+        assert served == 3
+        _submit, cancelled, _farewell = replies
+        assert cancelled["ok"]
+        assert cancelled["run_id"] == "run-000001"
+
+    def test_cancel_without_run_id_is_refused(self):
+        _served, replies, _service = self._drive(
+            [{"op": "cancel"}, {"op": "shutdown"}]
+        )
+        assert not replies[0]["ok"]
 
     def test_structured_refusals(self):
         _served, replies, _service = self._drive(
