@@ -31,6 +31,7 @@ import random
 import threading
 import time
 from collections import OrderedDict
+from pathlib import Path
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
@@ -39,6 +40,12 @@ from ..core.strategies import ThresholdProvider
 from ..datasets.io import orders_from_csv, workers_from_csv
 from ..datasets.synthetic import CityModel, DemandHotspot, Workload
 from ..datasets.workloads import city_by_name
+from ..durability.checkpoint import (
+    CheckpointError,
+    Checkpointer,
+    LoadedCheckpoint,
+    load_checkpoint,
+)
 from ..exceptions import ConfigurationError
 from ..experiments.runner import (
     ALGORITHMS,
@@ -173,6 +180,7 @@ class Session:
         provider: ThresholdProvider | None = None,
         cancellation: CancellationToken | None = None,
         degradations: DegradationLog | None = None,
+        resume_from: str | Path | LoadedCheckpoint | None = None,
     ) -> RunResult:
         """Execute one scenario and return its structured result.
 
@@ -201,6 +209,19 @@ class Session:
             Caller-owned log continued across :meth:`prepare` and the
             run, so preparation-time fallbacks survive into the result;
             a fresh log is created when omitted.
+        resume_from:
+            Continue an interrupted run from a checkpoint: a path to a
+            checkpoint file written by a
+            :class:`~repro.durability.Checkpointer` (or an
+            already-loaded checkpoint).  The scenario is prepared as
+            usual — same workload, same oracle — then the checkpoint's
+            dispatcher and collector take over from its cursor instead
+            of a fresh ``make_dispatcher``.  The checkpoint's recorded
+            identity (graph hash, algorithm, order count) must match
+            the spec's scenario; a mismatch, torn file or CRC failure
+            raises :class:`~repro.durability.CheckpointError`.  Final
+            metrics are identical to an uninterrupted run (wall-clock
+            timings and per-run oracle deltas aside).
         """
         spec = self._effective(spec)
         config = spec.config()
@@ -217,30 +238,63 @@ class Session:
         if workload is None:
             workload = self.workload(spec)
         self._attach_oracle(workload, config, degradations=degradations)
-        if provider is None and spec.algorithm.lower() == "watter-expect":
+        if (
+            provider is None
+            and resume_from is None
+            and spec.algorithm.lower() == "watter-expect"
+        ):
             # A caller-supplied workload must also drive the threshold
             # bootstrap, otherwise the thresholds would be fitted to
             # the spec's source while evaluation runs different demand.
+            # (A resumed dispatcher carries its bound provider inside
+            # the checkpoint, so the bootstrap is skipped entirely.)
             provider = self.expect_provider(
                 spec, workload=workload if custom_workload else None
             )
-        prepare_seconds = time.perf_counter() - started
         graph_hash = self.graph_hash(workload.network)
+        resume = self._load_resume(resume_from, spec, workload, graph_hash)
+        if resume is not None:
+            # The first half's recorded fallbacks travel with the
+            # checkpoint; replay them so the finished result reports
+            # the whole run's degradations, not just the resumed tail.
+            for event in resume.degradations:
+                degradations.record(
+                    event.get("site", "unknown"),
+                    event.get("from", ""),
+                    event.get("to", ""),
+                    event.get("reason", "recorded before interruption"),
+                )
+        self._stamp_checkpoint_meta(
+            hooks,
+            {
+                "graph_hash": graph_hash,
+                "algorithm": spec.algorithm,
+                "total_orders": len(workload.orders),
+                "scenario": spec.describe(),
+                "spec": spec.to_dict(),
+            },
+        )
+        prepare_seconds = time.perf_counter() - started
         if cancellation is not None:
             self._check_cancelled(
                 cancellation, degradations, prepare_seconds, graph_hash
             )
         if hooks is not None:
-            hooks.on_run_start(
-                {
-                    "spec": spec.to_dict(),
-                    "scenario": spec.describe(),
-                    "algorithm": spec.algorithm,
-                    "graph_hash": graph_hash,
-                }
-            )
+            start_info: dict[str, Any] = {
+                "spec": spec.to_dict(),
+                "scenario": spec.describe(),
+                "algorithm": spec.algorithm,
+                "graph_hash": graph_hash,
+            }
+            if resume is not None:
+                start_info["resumed_from"] = resume.cursor.as_dict()
+            hooks.on_run_start(start_info)
         run_started = time.perf_counter()
-        dispatcher = make_dispatcher(spec.algorithm, workload, config, provider)
+        dispatcher = (
+            resume.dispatcher
+            if resume is not None
+            else make_dispatcher(spec.algorithm, workload, config, provider)
+        )
         try:
             result = Simulator(
                 workload,
@@ -249,6 +303,7 @@ class Session:
                 hooks=hooks,
                 cancellation=cancellation,
                 degradations=degradations,
+                resume=resume,
             ).run()
         except RunCancelled as exc:
             exc.partial = _partial_snapshot(
@@ -463,6 +518,80 @@ class Session:
             )
             if oracle is not before:
                 self.oracle_builds += 1
+
+    @staticmethod
+    def _load_resume(
+        resume_from: "str | Path | LoadedCheckpoint | None",
+        spec: ScenarioSpec,
+        workload: Workload,
+        graph_hash: str,
+    ) -> LoadedCheckpoint | None:
+        """Load (if a path) and validate a resume checkpoint for this run.
+
+        Identity checks are what keep a resume honest: the checkpoint's
+        recorded graph hash, algorithm and order count must match the
+        scenario being resumed, and its cursor must lie inside the
+        workload.  Spec fields that do not shape the replay (deadlines,
+        cache directories) may differ freely.
+        """
+        if resume_from is None:
+            return None
+        loaded = (
+            resume_from
+            if isinstance(resume_from, LoadedCheckpoint)
+            else load_checkpoint(resume_from, network=workload.network)
+        )
+        meta = loaded.meta
+        recorded_hash = meta.get("graph_hash")
+        if recorded_hash is not None and recorded_hash != graph_hash:
+            raise CheckpointError(
+                f"checkpoint was taken on graph {recorded_hash[:12]}… but this "
+                f"scenario runs on {graph_hash[:12]}… — resume the spec that "
+                f"produced it"
+            )
+        recorded_algorithm = meta.get("algorithm")
+        if (
+            recorded_algorithm is not None
+            and str(recorded_algorithm).lower() != spec.algorithm.lower()
+        ):
+            raise CheckpointError(
+                f"checkpoint holds {recorded_algorithm!r} state but the spec "
+                f"asks for {spec.algorithm!r}"
+            )
+        recorded_orders = meta.get("total_orders")
+        if recorded_orders is not None and recorded_orders != len(workload.orders):
+            raise CheckpointError(
+                f"checkpoint was taken over {recorded_orders} orders but the "
+                f"prepared workload has {len(workload.orders)}"
+            )
+        if loaded.cursor.order_index > len(workload.orders):
+            raise CheckpointError(
+                f"checkpoint cursor points past the workload "
+                f"({loaded.cursor.order_index} > {len(workload.orders)} orders)"
+            )
+        return loaded
+
+    @staticmethod
+    def _stamp_checkpoint_meta(
+        hooks: SimulationHooks | None, meta: Mapping[str, Any]
+    ) -> None:
+        """Give every attached :class:`Checkpointer` the run's identity.
+
+        Callers attach a bare ``Checkpointer(path)``; the session knows
+        the prepared run's graph hash and order count, so it stamps
+        them here — that is what :meth:`_load_resume` validates against
+        later.  Caller-set meta keys win.
+        """
+        if hooks is None:
+            return
+        stack: list[SimulationHooks] = [hooks]
+        while stack:
+            hook = stack.pop()
+            if isinstance(hook, Checkpointer):
+                hook.meta = {**meta, **hook.meta}
+            children = getattr(hook, "children", None)
+            if children:
+                stack.extend(children)
 
     @staticmethod
     def _check_cancelled(

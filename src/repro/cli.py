@@ -5,7 +5,10 @@ Six subcommands cover the common workflows:
 * ``compare`` — run several algorithms over one generated workload and
   print the comparison table (the Table III default experiment),
 * ``run``    — execute a scenario described by a JSON/YAML spec file
-  (``repro.api.ScenarioSpec`` serialised with ``to_dict``),
+  (``repro.api.ScenarioSpec`` serialised with ``to_dict``); with
+  ``--checkpoint-dir``/``--checkpoint-interval`` the run snapshots
+  resumable state every N ticks, and ``--resume CKPT`` continues an
+  interrupted run from its last checkpoint (see docs/DURABILITY.md),
 * ``sweep``   — regenerate one of the paper's figures (vary orders,
   workers, deadline or capacity) as text tables,
 * ``example1`` — rerun the worked example of the introduction,
@@ -14,7 +17,10 @@ Six subcommands cover the common workflows:
 * ``serve``  — stand up the resident scenario service (``repro.serve``):
   an asyncio HTTP server (or ``--stdin`` JSON-lines loop) that accepts
   ScenarioSpec documents, shares prepared networks/oracles across
-  concurrent runs and streams results to sinks (see docs/SERVING.md).
+  concurrent runs and streams results to sinks (see docs/SERVING.md);
+  with ``--state-dir`` accepted runs are journaled write-ahead and
+  recovered after a crash, and ``SIGTERM`` drains gracefully within
+  ``--drain-grace`` seconds (see docs/DURABILITY.md).
 
 Every workload command accepts ``--oracle {lazy,landmark,matrix,ch}``
 to pick the shortest-path backend and ``--oracle-cache DIR`` to persist
@@ -118,6 +124,33 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(ALGORITHMS),
         help="override the spec's algorithm with a comparison set",
     )
+    run.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "snapshot resumable run state to DIR/<algorithm>.ckpt every "
+            "--checkpoint-interval periodic checks (single-algorithm "
+            "runs only; see docs/DURABILITY.md)"
+        ),
+    )
+    run.add_argument(
+        "--checkpoint-interval",
+        type=_positive_int,
+        default=None,
+        metavar="TICKS",
+        help="periodic checks between checkpoints (default: 25)",
+    )
+    run.add_argument(
+        "--resume",
+        default=None,
+        metavar="CKPT",
+        help=(
+            "continue an interrupted run from a checkpoint file written "
+            "by --checkpoint-dir (or by a served run under --state-dir); "
+            "the finished metrics match an uninterrupted run"
+        ),
+    )
 
     sweep = subparsers.add_parser("sweep", help="regenerate one figure of the paper")
     _add_workload_arguments(sweep)
@@ -210,6 +243,47 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "JSON fault schedule installed for the service's lifetime "
             "(testing aid; see repro.resilience.faults)"
+        ),
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "durable run state: a write-ahead run journal, per-run "
+            "checkpoints and finished results live here, and a restart "
+            "on the same directory recovers every previously accepted "
+            "run (see docs/DURABILITY.md)"
+        ),
+    )
+    serve.add_argument(
+        "--checkpoint-interval",
+        type=_positive_int,
+        default=None,
+        metavar="TICKS",
+        help=(
+            "periodic checks between run checkpoints when --state-dir "
+            "is set (default: 25)"
+        ),
+    )
+    serve.add_argument(
+        "--no-auto-resume",
+        action="store_true",
+        help=(
+            "on recovery, mark crash-orphaned in-flight runs as "
+            "interrupted instead of resuming them from their last "
+            "checkpoint"
+        ),
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=_positive_float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "budget a graceful drain (SIGTERM or POST /shutdown?drain=1) "
+            "gives in-flight runs before cutting them at a checkpoint "
+            "boundary (default: 30)"
         ),
     )
 
@@ -380,6 +454,8 @@ def _run_compare(args: argparse.Namespace) -> str:
 
 def _run_spec_file(args: argparse.Namespace) -> str:
     spec = load_spec(args.spec)
+    if args.checkpoint_dir or args.resume:
+        return _run_spec_durable(args, spec)
     algorithms = tuple(args.algorithms) if args.algorithms else (spec.algorithm,)
     results = Session().compare(spec, algorithms=algorithms, use_rl=spec.use_rl)
     config = spec.config()
@@ -388,6 +464,48 @@ def _run_spec_file(args: argparse.Namespace) -> str:
         f"(n={config.num_orders}, m={config.num_workers})"
     )
     return _comparison_output(results, title)
+
+
+def _run_spec_durable(args: argparse.Namespace, spec: ScenarioSpec) -> str:
+    """``run`` with checkpointing and/or resume: one durable single run.
+
+    Checkpoints and resumes are per-run state, so this path executes
+    exactly one algorithm — the spec's (or the single ``--algorithms``
+    override).
+    """
+    from pathlib import Path
+
+    from .durability import DEFAULT_CHECKPOINT_INTERVAL, Checkpointer
+
+    if args.algorithms and len(args.algorithms) > 1:
+        raise SystemExit(
+            "--checkpoint-dir/--resume run a single algorithm; pass at "
+            "most one --algorithms entry"
+        )
+    if args.algorithms:
+        spec = spec.with_overrides(algorithm=args.algorithms[0])
+    hooks = None
+    if args.checkpoint_dir:
+        directory = Path(args.checkpoint_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        interval = args.checkpoint_interval or DEFAULT_CHECKPOINT_INTERVAL
+        hooks = Checkpointer(
+            directory / f"{spec.algorithm}.ckpt", interval=interval
+        )
+    result = Session().run(spec, hooks=hooks, resume_from=args.resume)
+    config = spec.config()
+    title = (
+        f"Scenario {spec.describe()} "
+        f"(n={config.num_orders}, m={config.num_workers})"
+    )
+    output = _comparison_output([result], title)
+    if args.resume:
+        output += f"\nresumed from {args.resume}"
+    if isinstance(hooks, Checkpointer) and hooks.writes:
+        output += (
+            f"\n{hooks.writes} checkpoint(s) written to {hooks.path}"
+        )
+    return output
 
 
 def _run_sweep(args: argparse.Namespace) -> str:
@@ -480,8 +598,9 @@ def _run_dispatch_bench(args: argparse.Namespace, config) -> str:
 def _run_serve(args: argparse.Namespace) -> int:
     """Stand the resident scenario service up on the chosen transport."""
     import asyncio
+    import signal
 
-    from .serve import ScenarioService, run_http_server, serve_stdin
+    from .serve import ScenarioServer, ScenarioService, serve_stdin
 
     injector = None
     if args.inject_faults:
@@ -489,6 +608,9 @@ def _run_serve(args: argparse.Namespace) -> int:
 
         injector = FaultInjector.from_file(args.inject_faults)
         install_injector(injector)
+    service_kwargs = {}
+    if args.checkpoint_interval is not None:
+        service_kwargs["checkpoint_interval"] = args.checkpoint_interval
     service = ScenarioService(
         max_runs=args.max_runs,
         max_sessions=args.pool_sessions,
@@ -496,13 +618,46 @@ def _run_serve(args: argparse.Namespace) -> int:
         oracle_cache_dir=args.oracle_cache,
         max_queue=args.max_queue,
         default_deadline=args.default_deadline,
+        state_dir=args.state_dir,
+        auto_resume=not args.no_auto_resume,
+        **service_kwargs,
     )
+
+    async def serve_http() -> None:
+        server = ScenarioServer(
+            service, args.host, args.port, drain_grace=args.drain_grace
+        )
+        await server.start()
+        host, port = server.address
+        print(f"repro.serve listening on http://{host}:{port}", flush=True)
+        loop = asyncio.get_running_loop()
+        try:
+            # SIGTERM is the operator's graceful stop: finish (or
+            # checkpoint) in-flight runs, journal the clean-shutdown
+            # marker, exit 0.
+            loop.add_signal_handler(signal.SIGTERM, server.request_drain)
+        except NotImplementedError:  # pragma: no cover - non-unix loop
+            pass
+        try:
+            await server.serve_forever()
+        finally:
+            try:
+                loop.remove_signal_handler(signal.SIGTERM)
+            except (NotImplementedError, ValueError):  # pragma: no cover
+                pass
+
     try:
         if args.stdin:
-            serve_stdin(service)
+            previous = signal.signal(
+                signal.SIGTERM, lambda *_: _drain_and_exit(service, args)
+            )
+            try:
+                serve_stdin(service)
+            finally:
+                signal.signal(signal.SIGTERM, previous)
             return 0
         try:
-            asyncio.run(run_http_server(service, host=args.host, port=args.port))
+            asyncio.run(serve_http())
         except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
             service.shutdown(wait=True)
         return 0
@@ -511,6 +666,12 @@ def _run_serve(args: argparse.Namespace) -> int:
             from .resilience import uninstall_injector
 
             uninstall_injector()
+
+
+def _drain_and_exit(service, args: argparse.Namespace) -> None:
+    """SIGTERM handler of the stdin transport: drain, then exit clean."""
+    service.drain(args.drain_grace)
+    raise SystemExit(0)
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -59,6 +59,67 @@ def _make_matrix(graph: nx.DiGraph, **options) -> MatrixOracle:
     return MatrixOracle(graph, nodes=options.get("nodes"))
 
 
+class _CHCacheAttempt:
+    """Mutable accounting of one ``_make_ch`` disk-cache interaction."""
+
+    def __init__(self) -> None:
+        self.load_failures = 0
+        self.corrupt = False
+        self.cache_hit = False
+        self.lock_timed_out = False
+        self.lock_took_over_stale = False
+
+
+def _ch_from_cache(
+    graph: nx.DiGraph, path, hop_limit: int, kwargs: dict, attempt: _CHCacheAttempt
+) -> CHOracle | None:
+    """One validating load attempt, folded into ``attempt``'s accounting."""
+    from .cache import load_ch_preprocessing_outcome, quarantine_cache_file
+
+    outcome = load_ch_preprocessing_outcome(path, graph, hop_limit)
+    attempt.load_failures += outcome.load_failures
+    attempt.corrupt = attempt.corrupt or outcome.corrupt
+    if outcome.payload is None:
+        return None
+    try:
+        oracle = CHOracle(graph, preprocessing=outcome.payload, **kwargs)
+    except ValueError:
+        # Parsed but semantically unusable: quarantine like any other
+        # rotten payload and rebuild.
+        attempt.load_failures += 1
+        attempt.corrupt = True
+        quarantine_cache_file(path)
+        return None
+    attempt.cache_hit = True
+    return oracle
+
+
+def _ch_build_and_save(
+    graph: nx.DiGraph,
+    path,
+    kwargs: dict,
+    degradations: DegradationLog | None,
+) -> CHOracle:
+    """Contract from scratch and persist the products (best effort)."""
+    from .cache import save_ch_preprocessing
+
+    fault_point("oracle.ch.build")
+    oracle = CHOracle(graph, **kwargs)
+    try:
+        save_ch_preprocessing(path, oracle, graph)
+    except OSError as exc:
+        # Best effort: a run never fails because its cache could
+        # not be written — but the miss is recorded.
+        if degradations is not None:
+            degradations.record(
+                "oracle.cache",
+                "persist",
+                "skip",
+                f"CH cache save failed after retries: {exc}",
+            )
+    return oracle
+
+
 def _make_ch(graph: nx.DiGraph, **options) -> CHOracle:
     hop_limit = options.get("witness_hop_limit", DEFAULT_WITNESS_HOP_LIMIT)
     degradations: DegradationLog | None = options.get("degradations")
@@ -77,28 +138,50 @@ def _make_ch(graph: nx.DiGraph, **options) -> CHOracle:
     # to <name>.corrupt by the cache layer), in which case the graph is
     # contracted from scratch and the file rewritten.  A corrupt cache
     # therefore costs one rebuild — it never changes the backend.
-    from .cache import (
-        ch_cache_path,
-        load_ch_preprocessing_outcome,
-        quarantine_cache_file,
-        save_ch_preprocessing,
-    )
+    from ...durability.locks import InterProcessLock, LockTimeout
+    from .cache import ch_cache_path
 
     path = ch_cache_path(cache_dir, graph, hop_limit)
-    outcome = load_ch_preprocessing_outcome(path, graph, hop_limit)
-    load_failures = outcome.load_failures
-    corrupt = outcome.corrupt
-    oracle: CHOracle | None = None
-    if outcome.payload is not None:
+    attempt = _CHCacheAttempt()
+    # Fast path first, entirely lock-free: readers of a warm cache never
+    # contend with each other (or with anyone) — the payload file is
+    # only ever replaced atomically, so a validating load either sees a
+    # complete payload or misses.
+    oracle = _ch_from_cache(graph, path, hop_limit, kwargs, attempt)
+    if oracle is None:
+        # Build under a cross-process lock so N processes sharing one
+        # cache directory contract the graph exactly once: the winner
+        # builds and saves, the losers block and then warm-load what the
+        # winner persisted (the second load below).
+        lock = InterProcessLock(
+            path.with_name(path.name + ".lock"),
+            timeout=options.get("lock_timeout", 600.0),
+        )
         try:
-            oracle = CHOracle(graph, preprocessing=outcome.payload, **kwargs)
-        except ValueError:
-            # Parsed but semantically unusable: quarantine like any
-            # other rotten payload and rebuild.
-            load_failures += 1
-            corrupt = True
-            quarantine_cache_file(path)
-    if corrupt and degradations is not None:
+            with lock:
+                attempt.lock_took_over_stale = lock.took_over_stale
+                oracle = _ch_from_cache(graph, path, hop_limit, kwargs, attempt)
+                if oracle is None:
+                    oracle = _ch_build_and_save(
+                        graph, path, kwargs, degradations
+                    )
+        except (LockTimeout, OSError) as exc:
+            # Availability over the exactly-once economy: a wedged (or
+            # glacial) holder — or a lock file that cannot even be
+            # created (permissions, injected ``cache.lock`` faults) —
+            # must not keep this process from serving.  Build locally
+            # without the lock and record the fallback.
+            attempt.lock_timed_out = True
+            if degradations is not None:
+                degradations.record(
+                    "cache.lock",
+                    "locked-build",
+                    "unlocked-rebuild",
+                    f"CH cache lock not acquired ({exc}); contracting "
+                    f"locally without cross-process exclusion",
+                )
+            oracle = _ch_build_and_save(graph, path, kwargs, degradations)
+    if attempt.corrupt and degradations is not None:
         degradations.record(
             "oracle.cache",
             "persisted-preprocessing",
@@ -106,22 +189,10 @@ def _make_ch(graph: nx.DiGraph, **options) -> CHOracle:
             f"corrupt CH cache file {path.name!r} quarantined; "
             f"re-contracting from scratch",
         )
-    if oracle is None:
-        fault_point("oracle.ch.build")
-        oracle = CHOracle(graph, **kwargs)
-        try:
-            save_ch_preprocessing(path, oracle, graph)
-        except OSError as exc:
-            # Best effort: a run never fails because its cache could
-            # not be written — but the miss is recorded.
-            if degradations is not None:
-                degradations.record(
-                    "oracle.cache",
-                    "persist",
-                    "skip",
-                    f"CH cache save failed after retries: {exc}",
-                )
-    oracle.cache_load_failures = load_failures
+    oracle.cache_load_failures = attempt.load_failures
+    oracle.cache_hit = attempt.cache_hit
+    oracle.cache_lock_timed_out = attempt.lock_timed_out
+    oracle.cache_lock_took_over_stale = attempt.lock_took_over_stale
     return oracle
 
 

@@ -20,6 +20,9 @@ site                        where it fires
 ``oracle.ch.build``         each from-scratch CH contraction
 ``session.prepare``         each serve-layer session preparation attempt
 ``dispatch.shard``          each shard task (thread or forked process)
+``journal.append``          each write-ahead run-journal append attempt
+``checkpoint.write``        each run-checkpoint file write attempt
+``cache.lock``              each cross-process cache-lock acquisition
 ==========================  ================================================
 
 Per-site schedule keys: ``fail_calls`` (1-based call numbers that

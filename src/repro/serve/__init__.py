@@ -30,6 +30,7 @@ from .protocol import (
     CANCELLED,
     COMPLETED,
     FAILED,
+    INTERRUPTED,
     QUEUED,
     RUN_STATES,
     RUNNING,
@@ -40,7 +41,7 @@ from .protocol import (
 )
 from .server import ScenarioServer, run_http_server, serve_stdin
 from .service import ScenarioService
-from .sinks import EventRecorder, JsonlSink, MemorySink
+from .sinks import EventRecorder, JsonlSink, MemorySink, read_trace
 
 __all__ = [
     "ScenarioService",
@@ -55,6 +56,7 @@ __all__ = [
     "EventRecorder",
     "JsonlSink",
     "MemorySink",
+    "read_trace",
     "ProtocolError",
     "RunRecord",
     "parse_submission",
@@ -64,5 +66,6 @@ __all__ = [
     "COMPLETED",
     "FAILED",
     "CANCELLED",
+    "INTERRUPTED",
     "TERMINAL_STATES",
 ]

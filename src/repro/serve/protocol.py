@@ -28,11 +28,15 @@ RUNNING = "running"
 COMPLETED = "completed"
 FAILED = "failed"
 CANCELLED = "cancelled"
+#: The run's process died (or drained away) mid-flight; the record
+#: carries the last checkpoint cursor when one survived.  Runs recovered
+#: from the journal land here when they cannot be (or are not) resumed.
+INTERRUPTED = "interrupted"
 
-RUN_STATES = (QUEUED, RUNNING, COMPLETED, FAILED, CANCELLED)
+RUN_STATES = (QUEUED, RUNNING, COMPLETED, FAILED, CANCELLED, INTERRUPTED)
 
 #: States a record can never leave.
-TERMINAL_STATES = frozenset({COMPLETED, FAILED, CANCELLED})
+TERMINAL_STATES = frozenset({COMPLETED, FAILED, CANCELLED, INTERRUPTED})
 
 #: Submission keys that are transport options, not spec fields.
 _SUBMIT_OPTION_KEYS = frozenset({"spec", "wait", "timeout"})
@@ -130,6 +134,14 @@ class RunRecord:
     error: dict[str, Any] | None = None
     done: threading.Event = field(default_factory=threading.Event, repr=False)
     cancellation: Any = field(default=None, repr=False)
+    #: Cursor of the run's last surviving checkpoint (set on recovery
+    #: and on drain interruption) — how far it got before the cut.
+    checkpoint: dict[str, Any] | None = None
+    #: Cursor this run resumed from, when it continued a prior attempt.
+    resumed_from: dict[str, Any] | None = None
+    #: Checkpoint file the executor should resume from (recovery only;
+    #: never serialized).
+    resume_path: str | None = field(default=None, repr=False)
     _state_lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False
     )
@@ -182,6 +194,25 @@ class RunRecord:
                 self.result = partial
             self.done.set()
 
+    def mark_interrupted(
+        self, reason: str, *, checkpoint: dict[str, Any] | None = None
+    ) -> None:
+        """Terminal ``interrupted`` state: the run was cut, not failed.
+
+        ``checkpoint`` is the last surviving cursor, so a client (or a
+        later ``repro run --resume``) can see exactly how far the run
+        got and what a resume would continue from.
+        """
+        with self._state_lock:
+            if self.status in TERMINAL_STATES:
+                return
+            self.status = INTERRUPTED
+            self.finished_at = time.time()
+            self.error = {"error": "interrupted", "detail": reason}
+            if checkpoint is not None:
+                self.checkpoint = checkpoint
+            self.done.set()
+
     def cancel_if_queued(self, reason: str) -> bool:
         """Cancel a run that never started (QUEUED → CANCELLED)."""
         with self._state_lock:
@@ -222,6 +253,10 @@ class RunRecord:
         }
         if self.error is not None:
             data["error"] = self.error
+        if self.checkpoint is not None:
+            data["checkpoint"] = self.checkpoint
+        if self.resumed_from is not None:
+            data["resumed_from"] = self.resumed_from
         if include_result and self.result is not None:
             data["result"] = self.result
         return data

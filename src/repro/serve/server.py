@@ -21,7 +21,13 @@ POST      ``/runs/<id>/cancel``  cancel a queued run now, or ask a
                              boundary; returns 202 + the record
 GET       ``/metrics``       pool / batcher / queue / latency counters
 GET       ``/healthz``       liveness probe
-POST      ``/shutdown``      drain in-flight runs and stop the server
+POST      ``/shutdown``      stop the server; ``?drain=1`` (or a body of
+                             ``{"drain": true, "grace": seconds}``) first
+                             performs a graceful drain — admission stops
+                             with a structured 503 ``draining`` refusal,
+                             in-flight runs finish or checkpoint within
+                             the grace budget, and a clean-shutdown
+                             marker is journaled before the process exits
 ========  =================  ==============================================
 
 Every response is JSON; refusals carry the structured
@@ -34,8 +40,10 @@ bounded executor runs them, and ``wait`` blocks in a side thread via
 pipelines and CI: one JSON request per line on stdin, one JSON reply
 per line on stdout.  ``{"op": "submit", "spec": {...}, "wait": true}``
 submits (and optionally blocks), ``poll``/``events``/``metrics``/
-``list`` observe, ``cancel`` stops a run, ``shutdown`` drains and
-exits the loop.
+``list`` observe, ``cancel`` stops a run, ``shutdown`` exits the loop
+— ``{"op": "shutdown", "drain": true, "grace": seconds}`` first runs
+the same graceful drain as ``POST /shutdown?drain=1`` and replies with
+the drain summary.
 """
 
 from __future__ import annotations
@@ -43,7 +51,7 @@ from __future__ import annotations
 import asyncio
 import json
 import sys
-from typing import Any, IO
+from typing import Any, IO, Mapping
 from urllib.parse import parse_qs, urlsplit
 
 from .protocol import ProtocolError, RunRecord, json_bytes
@@ -84,12 +92,17 @@ class ScenarioServer:
         service: ScenarioService,
         host: str = "127.0.0.1",
         port: int = 8700,
+        *,
+        drain_grace: float = 30.0,
     ) -> None:
         self._service = service
         self._host = host
         self._port = port
+        self._drain_grace = drain_grace
         self._server: asyncio.AbstractServer | None = None
         self._stop = asyncio.Event()
+        self._drain_task: asyncio.Task | None = None
+        self._drain_summary: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -119,14 +132,41 @@ class ScenarioServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-            # Drain in-flight runs off the event loop.
-            await asyncio.get_running_loop().run_in_executor(
-                None, self._service.shutdown
-            )
+            if self._drain_task is not None:
+                # A graceful drain owns the wind-down (it settles the
+                # in-flight runs and journals the clean-shutdown marker).
+                await self._drain_task
+            else:
+                # Drain in-flight runs off the event loop.
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self._service.shutdown
+                )
 
     def request_stop(self) -> None:
         """Ask ``serve_forever`` to wind down (thread-unsafe; loop only)."""
         self._stop.set()
+
+    def request_drain(self, grace: float | None = None) -> None:
+        """Begin a graceful drain and stop once it settles (loop only).
+
+        Admission stops immediately (the service 503s new submissions
+        as ``draining``); the listener stays open so ``/metrics`` and
+        ``GET /runs`` keep answering while in-flight runs finish or
+        checkpoint, then the server winds down.  Idempotent — a second
+        call while a drain is in progress is a no-op.
+        """
+        if self._drain_task is not None or self._stop.is_set():
+            return
+        budget = self._drain_grace if grace is None else grace
+        loop = asyncio.get_running_loop()
+
+        async def _drain_then_stop() -> None:
+            self._drain_summary = await loop.run_in_executor(
+                None, self._service.drain, budget
+            )
+            self._stop.set()
+
+        self._drain_task = loop.create_task(_drain_then_stop())
 
     # ------------------------------------------------------------------
     # connection handling
@@ -226,6 +266,13 @@ class ScenarioServer:
         if path == "/metrics" and method == "GET":
             return 200, self._service.metrics()
         if path == "/shutdown" and method == "POST":
+            drain, grace = _parse_shutdown(query, body)
+            if drain:
+                self.request_drain(grace)
+                return 202, {
+                    "status": "draining",
+                    "grace": self._drain_grace if grace is None else grace,
+                }
             self.request_stop()
             return 200, {"status": "shutting-down"}
         if path == "/runs" and method == "POST":
@@ -296,11 +343,40 @@ class ScenarioServer:
         return 200, record.as_dict()
 
 
+def _parse_shutdown(
+    query: dict[str, str], body: bytes
+) -> tuple[bool, float | None]:
+    """``(drain?, grace)`` of a shutdown request (query or JSON body)."""
+    drain = query.get("drain", "").lower() in ("1", "true", "yes")
+    grace: Any = query.get("grace")
+    if body:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ProtocolError(400, "invalid-json", str(exc))
+        if isinstance(payload, Mapping):
+            drain = drain or bool(payload.get("drain"))
+            if payload.get("grace") is not None:
+                grace = payload["grace"]
+    if grace is None:
+        return drain, None
+    try:
+        return drain, float(grace)
+    except (TypeError, ValueError):
+        raise ProtocolError(
+            400, "invalid-request", "grace must be a number of seconds"
+        )
+
+
 async def run_http_server(
-    service: ScenarioService, host: str = "127.0.0.1", port: int = 8700
+    service: ScenarioService,
+    host: str = "127.0.0.1",
+    port: int = 8700,
+    *,
+    drain_grace: float = 30.0,
 ) -> None:
     """Start an HTTP server and serve until shutdown is requested."""
-    server = ScenarioServer(service, host, port)
+    server = ScenarioServer(service, host, port, drain_grace=drain_grace)
     await server.start()
     bound_host, bound_port = server.address
     print(f"repro.serve listening on http://{bound_host}:{bound_port}", flush=True)
@@ -345,8 +421,12 @@ def serve_stdin(
                 reply(_handle_stdin_request(service, line))
             except ProtocolError as exc:
                 reply({"ok": False, **exc.payload})
-            except _Shutdown:
-                reply({"ok": True, "status": "shutting-down"})
+            except _Shutdown as stop:
+                if stop.drain:
+                    summary = service.drain(stop.grace)
+                    reply({"ok": True, "status": "drained", **summary})
+                else:
+                    reply({"ok": True, "status": "shutting-down"})
                 break
     finally:
         service.shutdown(wait=True)
@@ -355,6 +435,11 @@ def serve_stdin(
 
 class _Shutdown(Exception):
     """Internal control flow: the stdin loop saw a shutdown op."""
+
+    def __init__(self, drain: bool = False, grace: float | None = 30.0) -> None:
+        super().__init__("shutdown")
+        self.drain = drain
+        self.grace = grace
 
 
 def _handle_stdin_request(service: ScenarioService, line: str) -> dict[str, Any]:
@@ -402,7 +487,15 @@ def _handle_stdin_request(service: ScenarioService, line: str) -> dict[str, Any]
     if op == "metrics":
         return {"ok": True, **service.metrics()}
     if op == "shutdown":
-        raise _Shutdown()
+        grace: Any = request.get("grace", 30.0)
+        if grace is not None:
+            try:
+                grace = float(grace)
+            except (TypeError, ValueError):
+                raise ProtocolError(
+                    400, "invalid-request", "grace must be a number of seconds"
+                )
+        raise _Shutdown(drain=bool(request.get("drain")), grace=grace)
     raise ProtocolError(
         400,
         "unknown-op",

@@ -20,11 +20,21 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Mapping
 
 from ..api import RunResult, ScenarioSpec, Session
+from ..durability.checkpoint import (
+    DEFAULT_CHECKPOINT_INTERVAL,
+    CheckpointError,
+    Checkpointer,
+    RunCheckpoint,
+    read_checkpoint_header,
+)
+from ..durability.journal import RunJournal
+from ..durability.results import ResultStore
 from ..exceptions import ConfigurationError, ReproError
 from ..network.graph import RoadNetwork
 from ..resilience.cancellation import CancellationToken, RunCancelled
@@ -38,6 +48,7 @@ from .protocol import (
     CANCELLED,
     COMPLETED,
     FAILED,
+    INTERRUPTED,
     QUEUED,
     RUNNING,
     TERMINAL_STATES,
@@ -92,6 +103,23 @@ class ScenarioService:
         Wall-clock budget (seconds) applied to every run whose spec
         does not set its own ``deadline_seconds``; ``None`` means runs
         without a spec deadline are unlimited.
+    state_dir:
+        Durable service state: a write-ahead run journal
+        (``journal.jsonl``), per-run result documents (``results/``)
+        and simulation checkpoints (``checkpoints/``).  On startup the
+        journal is replayed: finished runs are served from the result
+        store, submitted-but-never-started runs are re-enqueued, and
+        orphaned in-flight runs are resumed from their last checkpoint
+        (or reported ``interrupted``) — a ``kill -9`` loses no accepted
+        work.  Without a state dir the service is exactly as ephemeral
+        as before.
+    checkpoint_interval:
+        Ticks between simulation checkpoints for journaled runs.
+    auto_resume:
+        Whether recovery re-executes orphaned in-flight runs from their
+        checkpoints (default); ``False`` reports them ``interrupted``
+        instead, leaving the checkpoints in place for a manual
+        ``repro run --resume``.
     """
 
     def __init__(
@@ -105,6 +133,9 @@ class ScenarioService:
         max_records: int = DEFAULT_MAX_RECORDS,
         max_queue: int | None = None,
         default_deadline: float | None = None,
+        state_dir: str | Path | None = None,
+        checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+        auto_resume: bool = True,
     ) -> None:
         if max_runs < 1:
             raise ValueError("max_runs must be at least 1")
@@ -133,12 +164,34 @@ class ScenarioService:
         self._batchers: dict[int, OracleBatcher] = {}
         self._run_ids = itertools.count(1)
         self._closed = False
+        self._draining = False
         # Per-backend oracle counters accumulated from finished runs.
         self._oracle_counters: dict[str, dict[str, float]] = {}
         #: Submissions refused because the admission queue was full.
         self._rejected_total = 0
         #: Degradation events folded from finished runs, keyed by site.
         self._degradation_counters: dict[str, int] = {}
+        # ---- durable state (all None/zero without a state dir) ----
+        if checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be at least 1")
+        self._checkpoint_interval = checkpoint_interval
+        self._auto_resume = auto_resume
+        self._state_dir = Path(state_dir) if state_dir is not None else None
+        self._journal: RunJournal | None = None
+        self._results: ResultStore | None = None
+        self._checkpoints_written = 0
+        self._checkpoint_failures = 0
+        self._recovered = {
+            "restored": 0,
+            "requeued": 0,
+            "resumed": 0,
+            "interrupted": 0,
+        }
+        if self._state_dir is not None:
+            self._state_dir.mkdir(parents=True, exist_ok=True)
+            self._journal = RunJournal(self._state_dir / "journal.jsonl")
+            self._results = ResultStore(self._state_dir / "results")
+            self._recover()
 
     # ------------------------------------------------------------------
     # submission
@@ -171,6 +224,13 @@ class ScenarioService:
                 "cool-down",
             )
         with self._lock:
+            if self._draining:
+                raise ProtocolError(
+                    503,
+                    "draining",
+                    "the service is draining: in-flight runs are being "
+                    "finished or checkpointed, no new work is admitted",
+                )
             if self._closed:
                 raise ProtocolError(
                     503, "shutting-down", "the service is shutting down"
@@ -205,8 +265,18 @@ class ScenarioService:
                 self._event_stores[run_id] = MemorySink(
                     max_events=self._store_events, context={"run_id": run_id}
                 )
+        # Write-ahead: the submission is journaled before the executor
+        # can touch it, so a crash at any later instant leaves a record
+        # to re-enqueue from.
+        self._journal_append(
+            {"type": "submitted", "run_id": run_id, "spec": spec.to_dict()}
+        )
         self._executor.submit(self._execute, record)
         return record
+
+    def _journal_append(self, record: Mapping[str, Any]) -> None:
+        if self._journal is not None:
+            self._journal.append(record)
 
     def _evict_records(self) -> None:
         """Drop the oldest *finished* records beyond the bound (lock held)."""
@@ -222,19 +292,152 @@ class ScenarioService:
                 return  # everything left is still in flight; keep it all
 
     # ------------------------------------------------------------------
+    # crash recovery (state_dir only)
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Replay the journal: account for every previously accepted run.
+
+        Invariant this enforces (and the SIGKILL test asserts): every
+        run the previous process journaled as ``submitted`` is either
+        served from the result store, re-enqueued, resumed from its
+        checkpoint, or reported ``interrupted`` — never silently lost.
+        """
+        assert self._journal is not None and self._results is not None
+        entries = self._journal.replay()
+        if not entries:
+            return
+        clean = entries[-1].get("type") == "clean_shutdown"
+        runs: dict[str, dict[str, Any]] = {}
+        highest = 0
+        for entry in entries:
+            run_id = entry.get("run_id")
+            if not isinstance(run_id, str):
+                continue
+            number = _run_number(run_id)
+            if number is not None:
+                highest = max(highest, number)
+            info = runs.setdefault(run_id, {"last": None, "spec": None})
+            info["last"] = entry.get("type")
+            if entry.get("type") == "submitted":
+                info["spec"] = entry.get("spec")
+        for run_id in self._results.run_ids():
+            number = _run_number(run_id)
+            if number is not None:
+                highest = max(highest, number)
+        # New submissions continue the id sequence instead of reusing
+        # ids the journal (or the result store) already knows.
+        self._run_ids = itertools.count(highest + 1)
+        if clean:
+            # Runs whose full documents live in the result store need no
+            # journal history; dropping them bounds journal growth.
+            self._journal.compact(self._results.run_ids())
+        terminal = {"finished", "failed", "cancelled", "interrupted"}
+        for run_id in sorted(runs, key=lambda rid: _run_number(rid) or 0):
+            info = runs[run_id]
+            last = info["last"]
+            if last in terminal:
+                continue  # served from the result store on demand
+            record = self._recovered_record(run_id, info["spec"])
+            if record is None:
+                continue
+            if clean or last is None:
+                # A clean shutdown deliberately left this run behind
+                # (shutdown without drain); account for it, don't rerun.
+                record.mark_interrupted(
+                    "the service shut down before this run finished",
+                    checkpoint=self._checkpoint_cursor(run_id),
+                )
+                self._register_recovered(record, "interrupted")
+                self._finalize_durable(record)
+                continue
+            if last == "submitted":
+                # Accepted but never started: run it now, same id.
+                self._register_recovered(record, "requeued")
+                self._executor.submit(self._execute, record)
+                continue
+            # Orphaned mid-flight (started/checkpointed): resume when a
+            # checkpoint survived and resuming is allowed, else report.
+            cursor = self._checkpoint_cursor(run_id)
+            path = self._checkpoint_path(run_id)
+            if self._auto_resume and path is not None and path.exists():
+                record.resume_path = str(path)
+                record.resumed_from = cursor
+                self._register_recovered(record, "resumed")
+                self._executor.submit(self._execute, record)
+            else:
+                record.mark_interrupted(
+                    "the service died while this run was in flight",
+                    checkpoint=cursor,
+                )
+                self._register_recovered(record, "interrupted")
+                self._finalize_durable(record)
+
+    def _recovered_record(
+        self, run_id: str, spec_document: Any
+    ) -> RunRecord | None:
+        """A fresh QUEUED record for a journaled run (None if unusable)."""
+        if not isinstance(spec_document, Mapping):
+            return None
+        try:
+            spec = ScenarioSpec.from_dict(spec_document)
+        except ConfigurationError:
+            return None
+        deadline = spec.deadline_seconds
+        if deadline is None:
+            deadline = self._default_deadline
+        return RunRecord(
+            run_id=run_id,
+            spec=spec,
+            cancellation=CancellationToken(deadline),
+        )
+
+    def _register_recovered(self, record: RunRecord, how: str) -> None:
+        with self._lock:
+            self._records[record.run_id] = record
+            self._record_order.append(record.run_id)
+            if self._store_events and record.status == QUEUED:
+                self._event_stores[record.run_id] = MemorySink(
+                    max_events=self._store_events,
+                    context={"run_id": record.run_id},
+                )
+            self._recovered[how] += 1
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def _execute(self, record: RunRecord) -> None:
         if not record.claim():
             # A cancel won the race while the run sat in the queue.
             return
+        self._journal_append({"type": "started", "run_id": record.run_id})
         try:
             result = self._run(record)
         except RunCancelled as exc:
             partial = getattr(exc, "partial", None)
-            record.mark_cancelled(exc.reason, partial)
+            if self._draining:
+                # A drain cut this run, it did not abandon it: the last
+                # checkpoint stays on disk, the record says how far the
+                # run got, and a restart on the same state dir can
+                # resume it by hand (``repro run --resume``).
+                record.mark_interrupted(
+                    f"interrupted by drain: {exc.reason}",
+                    checkpoint=self._checkpoint_cursor(record.run_id),
+                )
+            else:
+                record.mark_cancelled(exc.reason, partial)
             if partial is not None:
                 self._fold_degradations(partial.get("degradations") or ())
+        except CheckpointError as exc:
+            if record.resume_path is not None:
+                # A recovered run whose checkpoint cannot be trusted is
+                # *interrupted*, not failed — the original work was cut
+                # by a crash, and the corrupt file must not masquerade
+                # as a run error.
+                record.mark_interrupted(
+                    f"resume failed: {exc}", checkpoint=record.resumed_from
+                )
+            else:
+                record.mark_failed("run-failed", str(exc))
         except CircuitOpenError as exc:
             record.mark_failed("session-quarantined", str(exc))
         except ProtocolError as exc:
@@ -253,6 +456,49 @@ class ScenarioService:
             record.mark_completed(self._summarise(result))
             self._fold_oracle_counters(result)
             self._fold_degradations(result.degradations)
+        self._finalize_durable(record)
+
+    def _finalize_durable(self, record: RunRecord) -> None:
+        """Persist a terminal record and journal how the run ended."""
+        if record.status not in TERMINAL_STATES:
+            return
+        if self._results is not None:
+            self._results.save(record.run_id, record.as_dict())
+        terminal_types = {
+            COMPLETED: "finished",
+            FAILED: "failed",
+            CANCELLED: "cancelled",
+            INTERRUPTED: "interrupted",
+        }
+        entry: dict[str, Any] = {
+            "type": terminal_types[record.status],
+            "run_id": record.run_id,
+        }
+        if record.error is not None:
+            entry["detail"] = record.error.get("detail")
+        self._journal_append(entry)
+        if record.status == COMPLETED:
+            # A finished run needs no resume point; reclaim the space.
+            path = self._checkpoint_path(record.run_id)
+            if path is not None:
+                path.unlink(missing_ok=True)
+
+    def _checkpoint_path(self, run_id: str) -> Path | None:
+        if self._state_dir is None:
+            return None
+        return self._state_dir / "checkpoints" / f"{run_id}.ckpt"
+
+    def _checkpoint_cursor(self, run_id: str) -> dict[str, Any] | None:
+        """Cursor of the run's newest on-disk checkpoint, if readable."""
+        path = self._checkpoint_path(run_id)
+        if path is None or not path.exists():
+            return None
+        try:
+            header = read_checkpoint_header(path)
+        except CheckpointError:
+            return None
+        cursor = header.get("cursor")
+        return dict(cursor) if isinstance(cursor, dict) else None
 
     def _run(self, record: RunRecord) -> RunResult:
         spec = record.spec
@@ -281,13 +527,14 @@ class ScenarioService:
         batcher = self._batcher_for(workload.network)
         run_workload = batched_workload(workload, batcher)
         provider = None
-        if spec.algorithm.lower() == "watter-expect":
+        if spec.algorithm.lower() == "watter-expect" and record.resume_path is None:
             # The memoised provider (fitted to the spec's own source),
             # exactly as a direct Session.run(spec) would bootstrap it —
             # passing the batched workload below must not change which
-            # provider serves the run.
+            # provider serves the run.  (A resumed dispatcher carries
+            # its provider inside the checkpoint.)
             provider = session.expect_provider(spec)
-        hooks = self._hooks_for(record)
+        hooks = self._hooks_for(record, degradations)
         return session.run(
             spec,
             hooks=hooks,
@@ -295,6 +542,7 @@ class ScenarioService:
             provider=provider,
             cancellation=record.cancellation,
             degradations=degradations,
+            resume_from=record.resume_path,
         )
 
     def _batcher_for(self, network: RoadNetwork) -> OracleBatcher:
@@ -305,7 +553,9 @@ class ScenarioService:
                 self._batchers[id(network)] = batcher
             return batcher
 
-    def _hooks_for(self, record: RunRecord) -> SimulationHooks | None:
+    def _hooks_for(
+        self, record: RunRecord, degradations: DegradationLog | None = None
+    ) -> SimulationHooks | None:
         hooks: list[SimulationHooks | None] = []
         with self._lock:
             hooks.append(self._event_stores.get(record.run_id))
@@ -314,6 +564,17 @@ class ScenarioService:
                 JsonlSink(
                     self._trace_dir / f"{record.run_id}.jsonl",
                     context={"run_id": record.run_id},
+                )
+            )
+        checkpoint_path = self._checkpoint_path(record.run_id)
+        if checkpoint_path is not None:
+            hooks.append(
+                _ServiceCheckpointer(
+                    self,
+                    record,
+                    checkpoint_path,
+                    interval=self._checkpoint_interval,
+                    degradations=degradations,
                 )
             )
         hooks = [hook for hook in hooks if hook is not None]
@@ -360,9 +621,21 @@ class ScenarioService:
     # observation
     # ------------------------------------------------------------------
     def get(self, run_id: str) -> RunRecord:
-        """The record of one run (404-style error when unknown)."""
+        """The record of one run (404-style error when unknown).
+
+        With a state dir, runs that finished in a *previous* process
+        (or were evicted from the in-memory window) are served from the
+        durable result store — restart-transparent to clients polling
+        a run id.
+        """
         with self._lock:
             record = self._records.get(run_id)
+        if record is None and self._results is not None:
+            document = self._results.load(run_id)
+            if document is not None:
+                with self._lock:
+                    self._recovered["restored"] += 1
+                return _record_from_document(run_id, document)
         if record is None:
             raise ProtocolError(404, "unknown-run", f"no run with id {run_id!r}")
         return record
@@ -412,7 +685,15 @@ class ScenarioService:
             rejected_total = self._rejected_total
             degradations = dict(self._degradation_counters)
         by_status = {
-            state: 0 for state in (QUEUED, RUNNING, COMPLETED, FAILED, CANCELLED)
+            state: 0
+            for state in (
+                QUEUED,
+                RUNNING,
+                COMPLETED,
+                FAILED,
+                CANCELLED,
+                INTERRUPTED,
+            )
         }
         latencies = []
         for record in records:
@@ -434,6 +715,7 @@ class ScenarioService:
             "pool": self._pool.stats(),
             "batcher": batcher_total,
             "oracle": oracle_counters,
+            "durability": self._durability_metrics(),
             "latency_seconds": {
                 "count": len(latencies),
                 "total": sum(latencies),
@@ -442,9 +724,80 @@ class ScenarioService:
             },
         }
 
+    def _durability_metrics(self) -> dict[str, Any] | None:
+        if self._state_dir is None:
+            return None
+        assert self._journal is not None and self._results is not None
+        return {
+            "state_dir": str(self._state_dir),
+            "draining": self._draining,
+            "journal_appends": self._journal.appends,
+            "journal_append_failures": self._journal.append_failures,
+            "journal_compactions": self._journal.compactions,
+            "checkpoints_written": self._checkpoints_written,
+            "checkpoint_write_failures": self._checkpoint_failures,
+            "results_saved": self._results.saves,
+            "recovered": dict(self._recovered),
+        }
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    def drain(self, grace: float | None = 30.0) -> dict[str, Any]:
+        """Graceful shutdown: stop admission, settle in-flight work, exit clean.
+
+        Admission stops immediately (submissions come back as a
+        503-shaped ``draining`` error).  In-flight and queued runs get
+        ``grace`` seconds to finish on their own; whatever is still
+        unfinished after the budget is cut at its next tick boundary —
+        the engine writes one final forced checkpoint and the record
+        lands in ``interrupted`` with its last cursor, resumable on the
+        next start.  Finally a ``clean_shutdown`` marker is journaled
+        (which is what lets the next startup compact the journal).
+
+        Returns a summary: how many runs finished, were interrupted,
+        or were already terminal when the drain began.
+        """
+        with self._lock:
+            already = self._draining or self._closed
+            self._draining = True
+        summary = {"finished": 0, "interrupted": 0}
+        if not already:
+            deadline = (
+                None if grace is None else time.monotonic() + max(grace, 0.0)
+            )
+            while True:
+                pending = [
+                    record
+                    for record in self.list_runs()
+                    if record.status not in TERMINAL_STATES
+                ]
+                if not pending:
+                    break
+                if deadline is not None and time.monotonic() >= deadline:
+                    for record in pending:
+                        if record.cancellation is not None:
+                            record.cancellation.cancel(
+                                "drain grace budget exhausted"
+                            )
+                        # Never-started runs have no engine to unwind;
+                        # settle them here (claim() then refuses).
+                        if record.status == QUEUED:
+                            record.mark_interrupted(
+                                "interrupted by drain before starting",
+                                checkpoint=None,
+                            )
+                            self._finalize_durable(record)
+                    deadline = None  # keep waiting for the unwinding runs
+                time.sleep(0.05)
+        self.shutdown(wait=True)
+        for record in self.list_runs():
+            if record.status == INTERRUPTED:
+                summary["interrupted"] += 1
+            elif record.status in TERMINAL_STATES:
+                summary["finished"] += 1
+        return summary
+
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting submissions and (optionally) drain in-flight runs."""
         with self._lock:
@@ -452,9 +805,89 @@ class ScenarioService:
                 return
             self._closed = True
         self._executor.shutdown(wait=wait, cancel_futures=not wait)
+        # The marker that distinguishes "process exited" from "process
+        # died": its presence at the journal's tail is what authorises
+        # compaction on the next startup.
+        self._journal_append({"type": "clean_shutdown"})
+        if self._journal is not None:
+            self._journal.close()
 
     def __enter__(self) -> "ScenarioService":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.shutdown(wait=True)
+
+
+class _ServiceCheckpointer(Checkpointer):
+    """A per-run checkpointer that also journals and counts its writes."""
+
+    def __init__(
+        self,
+        service: ScenarioService,
+        record: RunRecord,
+        path: Path,
+        *,
+        interval: int,
+        degradations: DegradationLog | None = None,
+    ) -> None:
+        super().__init__(path, interval=interval, degradations=degradations)
+        self._service = service
+        self._record = record
+
+    def on_checkpoint(self, checkpoint: RunCheckpoint) -> None:
+        before = self.writes
+        super().on_checkpoint(checkpoint)
+        if self.writes > before:
+            cursor = checkpoint.cursor.as_dict()
+            self._record.checkpoint = cursor
+            self._service._checkpoints_written += 1
+            self._service._journal_append(
+                {
+                    "type": "checkpointed",
+                    "run_id": self._record.run_id,
+                    "cursor": cursor,
+                }
+            )
+        else:
+            self._service._checkpoint_failures += 1
+
+
+def _run_number(run_id: str) -> int | None:
+    """The sequence number inside a service-issued ``run-%06d`` id."""
+    if not run_id.startswith("run-"):
+        return None
+    try:
+        return int(run_id[4:])
+    except ValueError:
+        return None
+
+
+def _record_from_document(run_id: str, document: Mapping[str, Any]) -> RunRecord:
+    """Rehydrate a terminal record from its durable result document."""
+    try:
+        spec = ScenarioSpec.from_dict(document.get("spec") or {})
+    except ConfigurationError as exc:
+        raise ProtocolError(
+            404,
+            "unknown-run",
+            f"run {run_id!r} has a stored result but its spec no longer "
+            f"parses: {exc}",
+        ) from exc
+    record = RunRecord(run_id=run_id, spec=spec)
+    record.status = document.get("status", COMPLETED)
+    record.submitted_at = document.get("submitted_at") or record.submitted_at
+    record.started_at = document.get("started_at")
+    record.finished_at = document.get("finished_at")
+    result = document.get("result")
+    record.result = dict(result) if isinstance(result, Mapping) else None
+    error = document.get("error")
+    record.error = dict(error) if isinstance(error, Mapping) else None
+    checkpoint = document.get("checkpoint")
+    record.checkpoint = (
+        dict(checkpoint) if isinstance(checkpoint, Mapping) else None
+    )
+    resumed = document.get("resumed_from")
+    record.resumed_from = dict(resumed) if isinstance(resumed, Mapping) else None
+    record.done.set()
+    return record

@@ -22,6 +22,7 @@ separable, or use one sink per run as the service does.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from pathlib import Path
 from typing import Any, IO, Mapping, TYPE_CHECKING
@@ -103,8 +104,13 @@ class EventRecorder(SimulationHooks):
 class JsonlSink(EventRecorder):
     """Streams events to a JSONL file, one JSON object per line.
 
-    The file is opened lazily on the first event and flushed after the
-    ``run_end`` event, so a crashed run still leaves a readable prefix.
+    The file is opened lazily on the first event, and every event is
+    written as one ``write + flush + fsync`` unit, so the trace a
+    crashed (even ``kill -9``'d) process leaves behind contains every
+    event it reported — at worst the final line is torn mid-write,
+    which :func:`read_trace` tolerates by dropping it.  Pass
+    ``fsync=False`` to trade that durability for throughput (events
+    then reach the OS on ``flush`` but the disk at its leisure).
     Use as a context manager (or call :meth:`close`) to release the
     file handle deterministically.
     """
@@ -114,9 +120,11 @@ class JsonlSink(EventRecorder):
         path: str | Path,
         *,
         context: Mapping[str, Any] | None = None,
+        fsync: bool = True,
     ) -> None:
         super().__init__(context)
         self.path = Path(path)
+        self._fsync = fsync
         self._file: IO[str] | None = None
 
     def emit(self, event: dict[str, Any]) -> None:
@@ -124,8 +132,9 @@ class JsonlSink(EventRecorder):
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._file = self.path.open("a", encoding="utf-8")
         self._file.write(json.dumps(event, sort_keys=True, default=str) + "\n")
-        if event.get("event") == "run_end":
-            self._file.flush()
+        self._file.flush()
+        if self._fsync:
+            os.fsync(self._file.fileno())
 
     def close(self) -> None:
         with self._emit_lock:
@@ -138,6 +147,20 @@ class JsonlSink(EventRecorder):
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def read_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Read a :class:`JsonlSink` trace, tolerating a torn final line.
+
+    A process killed mid-write leaves at most one partial trailing
+    line; this reader (the journal layer's tolerant JSONL reader)
+    yields every complete event and silently drops the torn tail, so
+    crash post-mortems never trip over the crash's own artifact.
+    Returns ``[]`` for a missing file.
+    """
+    from ..durability.journal import read_jsonl_tolerant
+
+    return list(read_jsonl_tolerant(path))
 
 
 class MemorySink(EventRecorder):

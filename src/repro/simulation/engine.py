@@ -18,8 +18,9 @@ from dataclasses import dataclass
 
 from ..config import SimulationConfig
 from ..datasets.synthetic import Workload
+from ..durability.checkpoint import LoadedCheckpoint, RunCheckpoint, RunCursor
 from ..network.oracle import configure_oracle
-from ..resilience.cancellation import CancellationToken
+from ..resilience.cancellation import CancellationToken, RunCancelled
 from ..resilience.degradation import DegradationLog
 from .dispatcher import Dispatcher, DispatchResult
 from .hooks import SimulationHooks
@@ -69,6 +70,15 @@ class Simulator:
         Optional :class:`~repro.resilience.degradation.DegradationLog`
         handed to the oracle attach and the parallel dispatch engine so
         their fallbacks are recorded against this run.
+    resume:
+        Optional :class:`~repro.durability.checkpoint.LoadedCheckpoint`
+        to continue from.  The caller passes the checkpoint's restored
+        dispatcher as ``dispatcher``; the engine adopts the restored
+        metrics collector and re-enters the replay loop at the
+        checkpoint's cursor.  The loop is deterministic after provider
+        bootstrap, so the finished run's metrics match an uninterrupted
+        run exactly (wall-clock ``running_time`` and per-run oracle
+        deltas aside).
     """
 
     def __init__(
@@ -80,6 +90,7 @@ class Simulator:
         *,
         cancellation: CancellationToken | None = None,
         degradations: DegradationLog | None = None,
+        resume: LoadedCheckpoint | None = None,
     ) -> None:
         self._workload = workload
         self._dispatcher = dispatcher
@@ -87,6 +98,7 @@ class Simulator:
         self._hooks = hooks
         self._cancellation = cancellation
         self._degradations = degradations
+        self._resume = resume
         # The config names the distance-oracle backend; attach it here so
         # every entry point (run_simulation, direct Simulator use, the
         # experiment runner) honours it.  A matching oracle that is
@@ -99,8 +111,12 @@ class Simulator:
             reuse=True,
             degradations=degradations,
         )
-        self._collector = MetricsCollector(
-            weights=config.weights, penalty_factor=config.penalty_factor
+        self._collector = (
+            resume.collector
+            if resume is not None
+            else MetricsCollector(
+                weights=config.weights, penalty_factor=config.penalty_factor
+            )
         )
         self._engine: ParallelDispatchEngine | None = None
 
@@ -171,31 +187,85 @@ class Simulator:
             # queue time never eats a run's budget (idempotent: the
             # serving layer may have started it already).
             self._cancellation.start()
-        algorithm_time = 0.0
         check_period = self._config.check_period
-        next_check = check_period
+        orders = self._workload.orders
+        # The cursor is the loop position; a checkpoint freezes it at a
+        # tick boundary, a resume re-enters the loop at it.  The loop
+        # itself is deterministic in the cursor + dispatcher state, so
+        # both halves of an interrupted run replay the same decisions
+        # an uninterrupted run makes.
+        cursor = (
+            self._resume.cursor
+            if self._resume is not None
+            else RunCursor(
+                order_index=0, next_check=check_period, ticks=0, algorithm_time=0.0
+            )
+        )
+        order_index = cursor.order_index
+        next_check = cursor.next_check
+        ticks = cursor.ticks
+        algorithm_time = cursor.algorithm_time
+        interval = (
+            self._hooks.checkpoint_interval() if self._hooks is not None else None
+        )
         oracle_before = self._oracle_snapshot()
-        for order in self._workload.orders:
-            release = order.release_time
-            # Run any periodic checks that fall before this order's release.
-            while next_check <= release:
+
+        def offer_checkpoint(forced: bool = False) -> None:
+            if interval is None or self._hooks is None:
+                return
+            if not forced and ticks % interval != 0:
+                return
+            self._hooks.on_checkpoint(
+                RunCheckpoint(
+                    cursor=RunCursor(
+                        order_index=order_index,
+                        next_check=next_check,
+                        ticks=ticks,
+                        algorithm_time=algorithm_time,
+                    ),
+                    dispatcher=self._dispatcher,
+                    collector=self._collector,
+                    network=self._workload.network,
+                    forced=forced,
+                )
+            )
+
+        try:
+            while order_index < len(orders):
+                order = orders[order_index]
+                release = order.release_time
+                # Run any periodic checks falling before this release.
+                while next_check <= release:
+                    self._check_cancelled()
+                    algorithm_time += self._timed_tick(next_check)
+                    next_check += check_period
+                    ticks += 1
+                    offer_checkpoint()
+                self._check_cancelled()
+                if self._hooks is not None:
+                    self._hooks.on_order_arrival(order, release)
+                started = time.perf_counter()
+                result = self._dispatcher.submit(order, release)
+                algorithm_time += time.perf_counter() - started
+                self._record(result)
+                order_index += 1
+            # Drain the remaining checks up to the end of the horizon plus
+            # the longest possible wait so pooled orders get their final
+            # decisions.  (Recomputed from the workload, so a resumed run
+            # drains to the same instant.)
+            end_time = self._end_of_activity()
+            while next_check <= end_time:
                 self._check_cancelled()
                 algorithm_time += self._timed_tick(next_check)
                 next_check += check_period
-            self._check_cancelled()
-            if self._hooks is not None:
-                self._hooks.on_order_arrival(order, release)
-            started = time.perf_counter()
-            result = self._dispatcher.submit(order, release)
-            algorithm_time += time.perf_counter() - started
-            self._record(result)
-        # Drain the remaining checks up to the end of the horizon plus the
-        # longest possible wait so pooled orders get their final decisions.
-        end_time = self._end_of_activity()
-        while next_check <= end_time:
-            self._check_cancelled()
-            algorithm_time += self._timed_tick(next_check)
-            next_check += check_period
+                ticks += 1
+                offer_checkpoint()
+        except RunCancelled:
+            # Leave one final resumable snapshot behind — this is what
+            # turns a drain-deadline cancellation into an *interruption*
+            # a restarted process can continue from.
+            offer_checkpoint(forced=True)
+            raise
         started = time.perf_counter()
         final = self._dispatcher.flush(end_time)
         algorithm_time += time.perf_counter() - started
@@ -280,6 +350,7 @@ def run_simulation(
     *,
     cancellation: CancellationToken | None = None,
     degradations: DegradationLog | None = None,
+    resume: LoadedCheckpoint | None = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`Simulator`."""
     return Simulator(
@@ -289,4 +360,5 @@ def run_simulation(
         hooks=hooks,
         cancellation=cancellation,
         degradations=degradations,
+        resume=resume,
     ).run()

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Mapping, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..durability.checkpoint import RunCheckpoint
     from ..model.order import Order
     from .dispatcher import ServedOrder
 
@@ -62,6 +63,27 @@ class SimulationHooks:
     def on_run_end(self, info: Mapping[str, Any]) -> None:
         """A facade-level run finished and its result is assembled."""
 
+    def checkpoint_interval(self) -> int | None:
+        """Ticks between checkpoint offers, or ``None`` for none.
+
+        A non-``None`` interval asks the engine to build a
+        :class:`~repro.durability.checkpoint.RunCheckpoint` every that
+        many periodic checks (and once more, forced, when a run is
+        cancelled mid-flight) and hand it to :meth:`on_checkpoint`.
+        Snapshot assembly is cheap — persistence cost lives in the
+        observer — but it still only happens when someone asks.
+        """
+        return None
+
+    def on_checkpoint(self, checkpoint: "RunCheckpoint") -> None:
+        """The engine offers a resumable snapshot at a tick boundary.
+
+        Observers that persist it (see
+        :class:`~repro.durability.checkpoint.Checkpointer`) must treat
+        the dispatcher and collector inside as live, borrowed state:
+        serialize synchronously, never mutate, never retain.
+        """
+
 
 class CompositeHooks(SimulationHooks):
     """Fans every event out to several observers, in order.
@@ -77,6 +99,13 @@ class CompositeHooks(SimulationHooks):
         self._hooks: tuple[SimulationHooks, ...] = tuple(
             hook for hook in hooks if hook is not None
         )
+
+    @property
+    def children(self) -> tuple[SimulationHooks, ...]:
+        """The composed observers (the facade uses this to find, e.g.,
+        an attached :class:`~repro.durability.checkpoint.Checkpointer`
+        and stamp it with run-identity metadata)."""
+        return self._hooks
 
     def on_run_start(self, info: Mapping[str, Any]) -> None:
         for hook in self._hooks:
@@ -97,3 +126,15 @@ class CompositeHooks(SimulationHooks):
     def on_run_end(self, info: Mapping[str, Any]) -> None:
         for hook in self._hooks:
             hook.on_run_end(info)
+
+    def checkpoint_interval(self) -> int | None:
+        intervals = [
+            interval
+            for interval in (hook.checkpoint_interval() for hook in self._hooks)
+            if interval is not None
+        ]
+        return min(intervals) if intervals else None
+
+    def on_checkpoint(self, checkpoint: "RunCheckpoint") -> None:
+        for hook in self._hooks:
+            hook.on_checkpoint(checkpoint)

@@ -616,6 +616,7 @@ class TestFaultSchedules:
         overrides = dict(doc.get("spec_overrides", {}))
         needs_cache = overrides.pop("needs_cache_dir", False)
         fresh_cache = overrides.pop("fresh_cache_dir", False)
+        needs_state = overrides.pop("needs_state_dir", False)
         spec = _grid_spec(**overrides)
 
         shared_cache = None
@@ -640,11 +641,22 @@ class TestFaultSchedules:
             fault_cache = tmp_path / "fault-cache"
             fault_cache.mkdir()
 
+        durable_kwargs = {}
+        if needs_state:
+            # Durability schedules (journal.append / checkpoint.write)
+            # only fire on a service with a state dir; a small interval
+            # guarantees checkpoints actually happen on a short run.
+            durable_kwargs = {
+                "state_dir": tmp_path / "state",
+                "checkpoint_interval": 3,
+            }
+
         injector = FaultInjector.from_dict(doc)
         with injected_faults(injector):
             with ScenarioService(
                 max_runs=1,
                 oracle_cache_dir=str(fault_cache) if fault_cache else None,
+                **durable_kwargs,
             ) as service:
                 record = service.submit_spec(spec)
                 record = service.wait(record.run_id, timeout=_WAIT)
