@@ -18,8 +18,14 @@ meaningfully slower:
   section (value, threshold, met, applicable) that the baseline met
   while applicable must still be met by an applicable candidate.
   A bar that is not applicable on either side (e.g. the >=2x
-  process-shard bar on a single-core container) is reported, not
-  failed.
+  process-shard bar on a single-core container, or the csr-kernel bar
+  without numpy) is reported, not failed.
+
+The report keeps the three outcomes visibly distinct: ``ok:`` lines are
+comparisons that ran and passed, ``skip:`` lines are comparisons that
+could not meaningfully run on this machine (with the reason), and
+``FAIL:`` lines are genuine regressions — so a build where half the
+bars silently skipped can never masquerade as one where they passed.
 
 Usage::
 
@@ -73,6 +79,12 @@ def collect_ratios(trajectory: dict) -> dict[str, float]:
     ch_cache = trajectory.get("ch_cache", {})
     if "speedup" in ch_cache:
         ratios["ch_cache.warm_construction_speedup"] = ch_cache["speedup"]
+    csr = trajectory.get("csr_kernel", {})
+    if "speedup" in csr and csr.get("applicable", True):
+        # Without numpy both timings exercised the dict path and the
+        # recorded 0.0 "ratio" carries no information; leaving it out
+        # here routes the comparison to a skip, not a failure.
+        ratios["csr_kernel.many_to_one_sweep_speedup"] = csr["speedup"]
     return ratios
 
 
@@ -91,9 +103,16 @@ def collect_parallel_ratios(trajectory: dict) -> dict[str, tuple[float, int]]:
 
 def compare(
     baseline: dict, candidate: dict, tolerance: float
-) -> tuple[list[str], list[str]]:
-    """Return ``(failures, notes)`` of candidate vs baseline."""
+) -> tuple[list[str], list[str], list[str]]:
+    """Return ``(failures, skips, notes)`` of candidate vs baseline.
+
+    ``failures`` are genuine regressions; ``skips`` are comparisons
+    that could not meaningfully run on this machine (CPU-count
+    mismatch, bar not applicable) with the reason; ``notes`` are
+    comparisons that ran and passed.
+    """
     failures: list[str] = []
+    skips: list[str] = []
     notes: list[str] = []
 
     base_ratios = collect_ratios(baseline)
@@ -101,6 +120,14 @@ def compare(
     for name, base_value in sorted(base_ratios.items()):
         cand_value = cand_ratios.get(name)
         if cand_value is None:
+            if name.startswith("csr_kernel.") and not candidate.get(
+                "csr_kernel", {}
+            ).get("applicable", True):
+                skips.append(
+                    f"{name}: csr kernel not applicable on candidate "
+                    f"(numpy unavailable)"
+                )
+                continue
             failures.append(f"{name}: missing from candidate trajectory")
             continue
         floor = base_value * (1.0 - tolerance)
@@ -124,10 +151,9 @@ def compare(
             continue
         cand_value, cand_cpus = entry
         if base_cpus != cand_cpus:
-            notes.append(
-                f"{name}: skipped (baseline ran on {base_cpus} CPUs, "
-                f"candidate on {cand_cpus} — shard speedups only compare "
-                f"like-for-like)"
+            skips.append(
+                f"{name}: baseline ran on {base_cpus} CPUs, candidate on "
+                f"{cand_cpus} — shard speedups only compare like-for-like"
             )
             continue
         floor = base_value * (1.0 - tolerance)
@@ -154,7 +180,7 @@ def compare(
         )
         cand_applicable = cand_block.get("applicable", True)
         if not cand_applicable:
-            notes.append(
+            skips.append(
                 f"acceptance.{name}: not applicable on this machine "
                 f"(value {cand_block.get('value')})"
             )
@@ -174,7 +200,7 @@ def compare(
                 # asserted by the benchmark suite that produced the
                 # candidate trajectory — failing here too would double-
                 # report the same measurement; warn loudly instead.
-                notes.append(
+                skips.append(
                     f"acceptance.{name}: WARNING — applicable here but "
                     f"below the {cand_block.get('threshold')} bar "
                     f"(measured {_fmt(cand_block.get('value'))}; baseline "
@@ -187,7 +213,7 @@ def compare(
                 f"({_fmt(cand_block.get('value'))} >= "
                 f"{cand_block.get('threshold')})"
             )
-    return failures, notes
+    return failures, skips, notes
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -205,19 +231,23 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--tolerance must lie in [0, 1)")
     baseline = _load(args.baseline)
     candidate = _load(args.candidate)
-    failures, notes = compare(baseline, candidate, args.tolerance)
+    failures, skips, notes = compare(baseline, candidate, args.tolerance)
     for note in notes:
         print(f"  ok: {note}")
+    for skip in skips:
+        print(f"  skip: {skip}")
+    summary = (
+        f"{len(notes)} passed, {len(skips)} skipped, {len(failures)} failed"
+    )
     if failures:
         print(
-            f"\nBENCHMARK REGRESSION GATE FAILED "
-            f"({len(failures)} finding(s)):",
+            f"\nBENCHMARK REGRESSION GATE FAILED ({summary}):",
             file=sys.stderr,
         )
         for failure in failures:
             print(f"  FAIL: {failure}", file=sys.stderr)
         return 1
-    print("\nbenchmark regression gate passed")
+    print(f"\nbenchmark regression gate passed ({summary})")
     return 0
 
 

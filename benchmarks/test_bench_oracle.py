@@ -26,6 +26,7 @@ import pytest
 from repro.experiments.benchmarking import (
     CH_CACHE_ACCEPTANCE_SPEEDUP,
     CH_COLD_P2P_ACCEPTANCE_SPEEDUP,
+    CSR_MANY_TO_ONE_ACCEPTANCE_SPEEDUP,
     MANY_TO_ONE_ACCEPTANCE_SPEEDUP,
     PARALLEL_ACCEPTANCE_MIN_CPUS,
     PARALLEL_ACCEPTANCE_SHARDS,
@@ -33,6 +34,7 @@ from repro.experiments.benchmarking import (
     SPATIAL_ACCEPTANCE_SPEEDUP,
     bench_scenario_identity,
     benchmark_ch_preprocessing_cache,
+    benchmark_csr_kernel,
     benchmark_dispatch_queries,
     benchmark_oracles,
     benchmark_parallel_dispatch,
@@ -117,7 +119,19 @@ def ch_cache_bench():
 
 
 @pytest.fixture(scope="module")
-def dispatch_bench(parallel_bench, ch_cache_bench):
+def csr_kernel_bench():
+    """dict vs csr reverse-PHAST sweep on the 1024-node benchmark city.
+
+    The shared backward upward seeds are computed outside the timed
+    region; each kernel then produces its native arrival representation
+    for 96 cold targets, cross-checked value-for-value inside the
+    benchmark.  Without numpy the result records ``applicable=False``.
+    """
+    return benchmark_csr_kernel(grid_dim=32)
+
+
+@pytest.fixture(scope="module")
+def dispatch_bench(parallel_bench, ch_cache_bench, csr_kernel_bench):
     """One shared dispatch benchmark run over every registered backend.
 
     The query mix is the dispatch hot path: >=32 idle worker locations
@@ -157,6 +171,7 @@ def dispatch_bench(parallel_bench, ch_cache_bench):
         spatial,
         parallel_bench,
         ch_cache=ch_cache_bench,
+        csr_kernel=csr_kernel_bench,
         scenario=scenario,
     )
     return {result.backend: result for result in results}
@@ -330,6 +345,35 @@ def test_ch_preprocessing_cache_warm_speedup(ch_cache_bench, dispatch_bench):
     # the artifact names the scenario that produced it
     assert trajectory["scenario"]["graph_hash"]
     assert trajectory["scenario"]["backends"]
+
+
+def test_csr_kernel_sweep_speedup(csr_kernel_bench, dispatch_bench):
+    """The csr reverse-PHAST sweep must beat the dict sweep >=3x.
+
+    The timed unit is the downward sweep that turns one backward upward
+    search into a full arrival representation — the stage the csr
+    kernel vectorises, and the linear-time half of every wide
+    many-to-one dispatch batch.  The shared fixture records the ratio
+    (and the numpy-availability flag that decides whether the bar
+    applies) in ``BENCH_dispatch.fresh.json``.
+    """
+    trajectory = json.loads(
+        (Path(__file__).parent.parent / "BENCH_dispatch.fresh.json").read_text()
+    )
+    block = trajectory["acceptance"]["csr_many_to_one_speedup"]
+    assert block["threshold"] == CSR_MANY_TO_ONE_ACCEPTANCE_SPEEDUP
+    assert block["value"] == pytest.approx(csr_kernel_bench.speedup)
+    assert block["applicable"] == csr_kernel_bench.applicable
+    assert trajectory["csr_kernel"]["num_nodes"] >= 1024
+    if not csr_kernel_bench.applicable:
+        pytest.skip("numpy unavailable: csr kernel ran the dict path")
+    assert csr_kernel_bench.speedup >= CSR_MANY_TO_ONE_ACCEPTANCE_SPEEDUP, (
+        f"csr sweep answered 96 cold targets in "
+        f"{csr_kernel_bench.csr_seconds:.4f}s, needed <= "
+        f"1/{CSR_MANY_TO_ONE_ACCEPTANCE_SPEEDUP:.0f} of the dict sweep's "
+        f"{csr_kernel_bench.dict_seconds:.4f}s "
+        f"({csr_kernel_bench.speedup:.2f}x)"
+    )
 
 
 def test_spatial_index_speeds_up_find_worker_for():

@@ -20,6 +20,7 @@ from .config import ExtraTimeWeights, LearningConfig, SimulationConfig
 from .exceptions import (
     ConfigurationError,
     DatasetError,
+    DependencyError,
     InfeasibleGroupError,
     LearningError,
     NetworkError,
@@ -98,6 +99,7 @@ __all__ = [
     "InfeasibleGroupError",
     "PoolError",
     "LearningError",
+    "DependencyError",
     "DatasetError",
     "Order",
     "OrderOutcome",

@@ -56,11 +56,12 @@ from ..network.oracle import available_backends, graph_signature
 from ..simulation.hooks import CompositeHooks, SimulationHooks
 from .facade import SweepPoint, compare, load_spec, run_scenario, save_spec, sweep
 from .session import RunResult, Session
-from .spec import NETWORK_SOURCES, WORKLOAD_SOURCES, ScenarioSpec
+from .spec import NETWORK_SOURCES, WORKLOAD_SOURCES, OracleSpec, ScenarioSpec
 
 __all__ = [
     # the facade proper
     "ScenarioSpec",
+    "OracleSpec",
     "Session",
     "RunResult",
     "SimulationHooks",

@@ -48,6 +48,7 @@ from .experiments.benchmarking import (
     PARALLEL_ACCEPTANCE_SHARDS,
     bench_scenario_identity,
     benchmark_ch_preprocessing_cache,
+    benchmark_csr_kernel,
     benchmark_dispatch_queries,
     benchmark_oracles,
     benchmark_parallel_dispatch,
@@ -65,7 +66,7 @@ from .experiments.reporting import (
 )
 from .experiments.runner import ALGORITHMS
 from .datasets.workloads import build_workload
-from .network.oracle import available_backends
+from .network.oracle import KERNELS, available_backends
 from .simulation.parallel import DISPATCH_MODES
 from .experiments.sweeps import (
     vary_capacity,
@@ -373,6 +374,16 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--oracle-kernel",
+        default=None,
+        choices=list(KERNELS),
+        help=(
+            "inner-loop kernel of the ch/matrix backends: csr = "
+            "vectorised numpy sweeps, dict = pure Python, auto = csr "
+            "when numpy is importable (identical answers either way)"
+        ),
+    )
+    parser.add_argument(
         "--dispatch-workers",
         type=_positive_int,
         default=None,
@@ -415,6 +426,8 @@ def _config_from_args(args: argparse.Namespace):
         overrides["oracle_backend"] = args.oracle
     if getattr(args, "oracle_cache", None) is not None:
         overrides["oracle_cache_dir"] = args.oracle_cache
+    if getattr(args, "oracle_kernel", None) is not None:
+        overrides["oracle_kernel"] = args.oracle_kernel
     if getattr(args, "dispatch_workers", None) is not None:
         overrides["dispatch_workers"] = args.dispatch_workers
     if getattr(args, "dispatch_mode", None) is not None:
@@ -554,6 +567,7 @@ def _run_dispatch_bench(args: argparse.Namespace, config) -> str:
         for mode in ("thread", "process")
     ]
     ch_cache = benchmark_ch_preprocessing_cache(graph=workload.network.graph)
+    csr_kernel = benchmark_csr_kernel()
     title = (
         f"Many-to-one dispatch benchmark ({args.dataset}, "
         f"{args.dispatch_sources} workers per round)"
@@ -564,6 +578,13 @@ def _run_dispatch_bench(args: argparse.Namespace, config) -> str:
         f"\nch preprocessing cache: cold {ch_cache.cold_seconds:.3f}s, "
         f"warm {ch_cache.warm_seconds:.3f}s ({ch_cache.speedup:.1f}x)"
     )
+    if csr_kernel.applicable:
+        output += (
+            f"\ncsr sweep kernel: dict {csr_kernel.dict_seconds:.3f}s, "
+            f"csr {csr_kernel.csr_seconds:.3f}s ({csr_kernel.speedup:.1f}x)"
+        )
+    else:
+        output += "\ncsr sweep kernel: not applicable (numpy unavailable)"
     if args.json:
         # Benchmark artifacts are self-describing: the trajectory
         # records which scenario (backend set, seed, graph) produced it.
@@ -579,7 +600,7 @@ def _run_dispatch_bench(args: argparse.Namespace, config) -> str:
         )
         path = write_dispatch_trajectory(
             args.json, results, spatial, parallel, ch_cache=ch_cache,
-            scenario=scenario,
+            csr_kernel=csr_kernel, scenario=scenario,
         )
         output += f"\n\ntrajectory written to {path}"
         if args.dispatch_shards != PARALLEL_ACCEPTANCE_SHARDS:

@@ -1,0 +1,48 @@
+"""Optional-dependency guards: the one place that decides numpy exists.
+
+numpy is an accelerator for this package, not a hard requirement.  The
+distance oracles degrade to their pure-Python dict kernels without it
+(:func:`repro.network.oracle.csr.resolve_kernel`), while the numerical
+subsystems that have no scalar fallback — the GMM threshold fitting of
+Section V, the MDP state encoder and the value-function training of
+Section VI — import cleanly and refuse *construction* with a precise
+:class:`~repro.exceptions.DependencyError` instead of crashing the
+whole package at import time.
+
+Every module that wants numpy imports ``np`` from here rather than
+importing numpy itself, so the availability decision is made exactly
+once and the no-numpy CI leg exercises one code path, not nine
+divergent ``try: import numpy`` blocks.
+"""
+
+from __future__ import annotations
+
+from .exceptions import DependencyError
+
+try:
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pure-Python environment
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+__all__ = ["HAVE_NUMPY", "np", "require_numpy"]
+
+
+def require_numpy(feature: str) -> None:
+    """Raise :class:`DependencyError` when *feature* needs missing numpy.
+
+    Called at construction time (not import time) by the subsystems
+    that cannot run without numpy, so ``import repro`` always succeeds
+    and the error names the feature the caller actually asked for::
+
+        require_numpy("GaussianMixture (GMM threshold fitting)")
+    """
+    if not HAVE_NUMPY:
+        raise DependencyError(
+            f"{feature} requires numpy, which is not installed; "
+            f"install numpy to use it (the distance oracles and the "
+            f"timeout/fixed-threshold dispatch strategies keep working "
+            f"without it)"
+        )

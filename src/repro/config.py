@@ -122,6 +122,20 @@ class SimulationConfig:
         persistence).  The ``ch`` backend stores its contraction order
         and shortcuts there keyed by a stable graph hash, so a warm
         directory lets a fresh process skip the contraction pass.
+    oracle_kernel:
+        Inner-loop implementation of the ``ch`` and ``matrix`` backends:
+        ``"csr"`` runs the vectorised numpy kernels (level-grouped PHAST
+        sweeps over flat CSR arrays, array bucket scans, bulk row
+        refresh), ``"dict"`` the pure-Python originals, ``"auto"``
+        (default) picks csr when numpy is importable and dict otherwise.
+        Both kernels produce identical answers (property-tested); lazy
+        and landmark always use their dict paths.
+    oracle_shared_memory:
+        Whether process-mode dispatch shards attach to one
+        ``multiprocessing.shared_memory`` copy of the oracle's prepared
+        arrays (csr kernel only) instead of duplicating them per fork.
+        On by default; a no-op for thread mode, the dict kernel, and
+        backends with nothing to share.
     dispatch_workers:
         Number of shards the periodic check's oracle blocks are
         partitioned across (1 = fully serial, no engine).  Parallel
@@ -155,6 +169,8 @@ class SimulationConfig:
     oracle_landmarks: int = 8
     oracle_witness_hops: int = 5
     oracle_cache_dir: str | None = None
+    oracle_kernel: str = "auto"
+    oracle_shared_memory: bool = True
     dispatch_workers: int = 1
     dispatch_mode: str = "thread"
 
@@ -212,6 +228,15 @@ class SimulationConfig:
             self.oracle_cache_dir, str
         ):
             raise ConfigurationError("oracle_cache_dir must be a path string")
+        from .network.oracle.csr import KERNELS
+
+        if self.oracle_kernel not in KERNELS:
+            raise ConfigurationError(
+                f"unknown oracle_kernel {self.oracle_kernel!r}; "
+                f"available: {KERNELS}"
+            )
+        if not isinstance(self.oracle_shared_memory, bool):
+            raise ConfigurationError("oracle_shared_memory must be a bool")
         if _constructed_externally():
             warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=3)
 

@@ -117,6 +117,10 @@ class OrderPool:
         """The dispatch strategy consulted on every check."""
         return self._strategy
 
+    def attach_dispatch_engine(self, engine) -> None:
+        """Forward the sharded dispatch engine to the shareability graph."""
+        self._graph.attach_dispatch_engine(engine)
+
     @property
     def statistics(self) -> PoolStatistics:
         """Activity counters accumulated so far."""

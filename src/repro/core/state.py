@@ -20,8 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence, TYPE_CHECKING
 
-import numpy as np
-
+from ..compat import np, require_numpy
 from ..network.grid import GridIndex
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -60,6 +59,7 @@ class StateEncoder:
     """
 
     def __init__(self, grid: GridIndex, time_slot: float, horizon: float) -> None:
+        require_numpy("StateEncoder (MDP state featurisation)")
         self._grid = grid
         self._time_slot = time_slot
         self._horizon = max(horizon, time_slot)

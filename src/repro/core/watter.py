@@ -143,8 +143,11 @@ class WatterDispatcher(Dispatcher):
         the engine's shards, then runs the unchanged serial decision
         loop over the precomputed travel times.  The fleet should be
         attached to the same engine so its searches read the results.
+        The order pool's shareability graph is attached too, so
+        arrival-time insertion probes read the overlay as well.
         """
         self._engine = engine
+        self._pool.attach_dispatch_engine(engine)
 
     # ------------------------------------------------------------------
     # Dispatcher interface

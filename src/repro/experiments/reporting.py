@@ -90,11 +90,21 @@ def format_oracle_stats_table(
         return ""
 
     def _get(m: SimulationMetrics, key: str, default: float = 0.0):
-        return m.oracle_stats.get(key, default)  # type: ignore[union-attr]
+        stats = m.oracle_stats  # type: ignore[union-attr]
+        if key in stats:
+            return stats[key]
+        # Backend extras are namespaced ("ch.bucket_scans") in the
+        # versioned stats schema; accept the bare counter name here so
+        # the table works for whichever backend produced the run.
+        backend = stats.get("backend")
+        if backend is not None:
+            return stats.get(f"{backend}.{key}", default)
+        return default
 
     columns = [
         ("algorithm", lambda m: m.algorithm),
         ("backend", lambda m: str(_get(m, "backend", "?"))),
+        ("kernel", lambda m: str(_get(m, "kernel", "dict"))),
         ("queries", lambda m: f"{int(_get(m, 'queries'))}"),
         ("hit rate", lambda m: f"{float(_get(m, 'hit_rate')):.3f}"),
         ("sssp runs", lambda m: f"{int(_get(m, 'sssp_runs'))}"),

@@ -12,8 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from ..compat import np, require_numpy
 from ..exceptions import LearningError
 
 
@@ -47,6 +46,7 @@ class MLP:
         learning_rate: float = 1e-3,
         seed: int = 0,
     ) -> None:
+        require_numpy("MLP (value-function training)")
         if input_dim <= 0:
             raise LearningError("input_dim must be positive")
         if not hidden_sizes:

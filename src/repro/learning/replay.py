@@ -12,8 +12,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-import numpy as np
-
+from ..compat import np
 from ..exceptions import LearningError
 
 

@@ -21,8 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-import numpy as np
-
+from ..compat import np
 from ..config import LearningConfig, SimulationConfig
 from ..core.state import StateEncoder
 from ..core.strategies import ThresholdProvider

@@ -24,8 +24,7 @@ from __future__ import annotations
 
 from typing import Sequence, TYPE_CHECKING
 
-import numpy as np
-
+from ..compat import np
 from ..config import LearningConfig
 from ..core.state import StateEncoder
 from ..exceptions import LearningError

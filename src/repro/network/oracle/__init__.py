@@ -33,7 +33,8 @@ original edges, so ``RoadNetwork.shortest_path`` routes through it
 instead of rerunning Dijkstra.
 """
 
-from .base import CacheInfo, DistanceOracle, OracleStats
+from .base import STATS_SCHEMA_VERSION, CacheInfo, DistanceOracle, OracleStats
+from .csr import HAVE_NUMPY, KERNELS, resolve_kernel
 from .cache import (
     CacheLoadOutcome,
     ch_cache_path,
@@ -58,6 +59,10 @@ from .registry import (
 __all__ = [
     "CacheInfo",
     "CHOracle",
+    "HAVE_NUMPY",
+    "KERNELS",
+    "STATS_SCHEMA_VERSION",
+    "resolve_kernel",
     "CacheLoadOutcome",
     "ch_cache_path",
     "graph_signature",

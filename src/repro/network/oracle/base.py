@@ -33,6 +33,20 @@ import networkx as nx
 from ...exceptions import UnreachableError
 
 
+#: Version of the flat oracle-stats schema produced by
+#: :meth:`OracleStats.as_dict` (surfaced as ``SimulationMetrics.
+#: oracle_stats``, the compare table and the serve layer's
+#: ``/metrics``).  The schema is: the common core keys every backend
+#: fills (``schema_version``, ``backend``, ``kernel``, ``queries``,
+#: ``batched_queries``, ``cache_hits``, ``cache_misses``, ``hit_rate``,
+#: ``sssp_runs``, ``reverse_sssp_runs``, ``pp_searches``,
+#: ``evictions``, ``precompute_seconds``) plus backend extras
+#: namespaced as ``"<backend>.<key>"`` (e.g. ``ch.bucket_scans``,
+#: ``matrix.matrix_rows``) so two backends can never collide and a
+#: reader can tell core from backend-specific at a glance.  Bump this
+#: whenever a core key changes meaning or shape.
+STATS_SCHEMA_VERSION = 1
+
 #: ``OracleStats.extras`` keys that are monotone counters, subtracted by
 #: snapshot deltas like the uniform counters.  Everything else in extras
 #: is a gauge or a structural constant and is reported as-is.
@@ -80,6 +94,7 @@ class OracleStats:
     """
 
     backend: str = "?"
+    kernel: str = "dict"
     queries: int = 0
     batched_queries: int = 0
     cache_hits: int = 0
@@ -122,9 +137,16 @@ class OracleStats:
         )
 
     def as_dict(self) -> dict[str, float | str]:
-        """Flat dictionary view used by the metrics/reporting layer."""
+        """Flat dictionary view: the versioned oracle-stats schema.
+
+        Core keys are uniform across every backend; backend extras are
+        namespaced as ``"<backend>.<key>"`` (see
+        :data:`STATS_SCHEMA_VERSION` for the full contract).
+        """
         return {
+            "schema_version": STATS_SCHEMA_VERSION,
             "backend": self.backend,
+            "kernel": self.kernel,
             "queries": self.queries,
             "batched_queries": self.batched_queries,
             "cache_hits": self.cache_hits,
@@ -135,7 +157,7 @@ class OracleStats:
             "pp_searches": self.pp_searches,
             "evictions": self.evictions,
             "precompute_seconds": self.precompute_seconds,
-            **dict(self.extras),
+            **{f"{self.backend}.{key}": value for key, value in self.extras.items()},
         }
 
 
@@ -278,6 +300,32 @@ class DistanceOracle(abc.ABC):
         return None
 
     # ------------------------------------------------------------------
+    # shared-memory protocol (optional)
+    # ------------------------------------------------------------------
+    def share_memory(self) -> dict | None:
+        """Move shareable prepared state into shared-memory segments.
+
+        Returns a small picklable handle a forked/spawned worker passes
+        to :meth:`adopt_shared`, or ``None`` when this backend has
+        nothing to share (the default) — callers then fall back to
+        fork-inherited private copies.  Implementations must be
+        idempotent and must keep answering queries from the shared
+        views themselves (one copy of the data, every process attached).
+        """
+        return None
+
+    def adopt_shared(self, handle) -> None:
+        """Attach this oracle to segments described by ``handle`` (no-op default)."""
+
+    def release_shared(self) -> None:
+        """Detach from shared state and destroy owned segments (no-op default).
+
+        Only the process that called :meth:`share_memory` destroys
+        segments; the implementation restores private copies first so
+        the oracle keeps working afterwards.
+        """
+
+    # ------------------------------------------------------------------
     # cache management and instrumentation
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -292,6 +340,7 @@ class DistanceOracle(abc.ABC):
         """Snapshot of the uniform counters plus backend extras."""
         return OracleStats(
             backend=self.name,
+            kernel=getattr(self, "kernel", "dict"),
             queries=self._queries,
             batched_queries=self._batched_queries,
             cache_hits=self._cache_hits,

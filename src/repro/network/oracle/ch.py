@@ -63,6 +63,13 @@ import networkx as nx
 
 from ...exceptions import UnreachableError
 from .base import CacheInfo, DistanceOracle
+from .csr import (
+    CHSweepKernel,
+    SharedArrayPack,
+    bucket_arrays,
+    finite_entries,
+    resolve_kernel,
+)
 
 
 def _locked(method):
@@ -168,11 +175,18 @@ class CHOracle(DistanceOracle):
         arrival_cache_size: int | None = DEFAULT_ARRIVAL_CACHE_SIZE,
         seed: int = 0,
         preprocessing: Mapping | None = None,
+        kernel: str = "auto",
     ) -> None:
         super().__init__(graph)
         if witness_hop_limit < 1:
             raise ValueError("witness_hop_limit must be at least 1")
         del seed
+        #: The kernel asked for ("auto"/"dict"/"csr"); kept for the
+        #: registry's reuse check.
+        self.requested_kernel = kernel
+        #: The kernel actually running: "csr" (vectorised numpy sweeps)
+        #: or "dict" (pure-Python fallback, always available).
+        self.kernel = resolve_kernel(kernel)
         #: The hop limit used during contraction; used (with
         #: :attr:`bucket_cache_size`) to decide whether a cached oracle
         #: can be reused for a config's settings.
@@ -186,9 +200,11 @@ class CHOracle(DistanceOracle):
         self._pair_cache: OrderedDict[tuple[int, int], float | None] = OrderedDict()
         # target node -> {node index: descending-path distance to target}
         self._bucket_cache: OrderedDict[int, dict[int, float]] = OrderedDict()
-        # target node -> full arrival map (source node -> seconds), the
-        # reverse-PHAST product used by wide many-to-one batches
-        self._arrival_cache: OrderedDict[int, dict[int, float]] = OrderedDict()
+        # target node -> [dense row | None, arrival map | None], the
+        # reverse-PHAST product used by wide many-to-one batches.  The
+        # csr kernel memoises the sweep row and materialises the
+        # node-keyed map lazily; the dict kernel stores the map only.
+        self._arrival_cache: OrderedDict[int, list] = OrderedDict()
         self._shortcuts_added = 0
         self._upward_settles = 0
         self._bucket_scans = 0
@@ -211,6 +227,16 @@ class CHOracle(DistanceOracle):
         else:
             self._build()
         self._precompute_seconds = time.perf_counter() - started
+
+    @property
+    def node_order(self) -> list[int]:
+        """Public node ids in internal-index order.
+
+        Decodes the dense rows the csr kernel's :meth:`reverse_sweep`
+        answers: ``row[i]`` is the arrival time from
+        ``node_order[i]``.
+        """
+        return list(self._nodes)
 
     @property
     def preprocessing_loaded(self) -> bool:
@@ -329,6 +355,16 @@ class CHOracle(DistanceOracle):
             else:
                 self._down_out[ui].append((vi, w))
                 self._down_in[vi].append((ui, w))
+        # Vectorised sweep kernel: the downward (forward PHAST) and
+        # upward-in (reverse PHAST) edge sets as level-grouped numpy
+        # arrays.  Built once here; the dict adjacency above stays the
+        # source of truth for searches and path unpacking either way.
+        self._sweeps: CHSweepKernel | None = None
+        self._shared_pack: SharedArrayPack | None = None
+        if self.kernel == "csr":
+            self._sweeps = CHSweepKernel(
+                n, self._order_desc, self._down_out, self._up_in
+            )
 
     # ------------------------------------------------------------------
     # preprocessing persistence
@@ -505,6 +541,15 @@ class CHOracle(DistanceOracle):
         """One-to-all distances via PHAST (upward search + downward sweep)."""
         self._queries += 1
         self._sssp_runs += 1
+        if self._sweeps is not None:
+            seeds = self._upward_search(self._index[source], self._up_out)
+            arr = self._sweeps.run(self._sweeps.forward, seeds)
+            idxs, values = finite_entries(arr)
+            nodes = self._nodes
+            return {
+                nodes[idx]: value
+                for idx, value in zip(idxs.tolist(), values.tolist())
+            }
         dist = self._forward_upward_array(self._index[source])
         for u in self._order_desc:
             du = dist[u]
@@ -530,18 +575,37 @@ class CHOracle(DistanceOracle):
         self._queries += 1
         return self._arrivals_to(target)
 
-    def _arrivals_to(self, target: int) -> dict[int, float]:
-        """Memoised reverse-PHAST arrival map (one miss per map built)."""
-        cached = self._arrival_cache.get(target)
-        if cached is not None:
-            self._cache_hits += 1
-            self._arrival_cache.move_to_end(target)
-            return cached
-        self._cache_misses += 1
-        self._reverse_sssp_runs += 1
+    # ------------------------------------------------------------------
+    # reverse-PHAST kernel primitives
+    # ------------------------------------------------------------------
+    @_locked
+    def reverse_seed_map(self, target: int) -> dict[int, float]:
+        """Backward upward search from ``target`` (internal node indices).
+
+        The first stage of a reverse-PHAST query, identical under both
+        kernels: a dict Dijkstra over the downward in-edges that settles
+        the nodes whose rank-descending paths reach ``target``.  The
+        result seeds :meth:`reverse_sweep`.  Exposed (with the sweep) as
+        the kernel seam the ``csr_many_to_one_speedup`` benchmark and
+        the kernel property tests measure.
+        """
+        return self._upward_search(self._index[target], self._down_in)
+
+    @_locked
+    def reverse_sweep(self, seeds: Mapping[int, float]):
+        """Downward sweep from a :meth:`reverse_seed_map` result.
+
+        Returns the running kernel's *native* arrival representation:
+        the csr kernel answers a dense float64 row indexed by internal
+        node index (``inf`` = unreachable), the dict kernel a mapping
+        of public node id to arrival time.  This is the stage the csr
+        kernel vectorises — the unit timed by the
+        ``csr_many_to_one_speedup`` acceptance bar.
+        """
+        if self._sweeps is not None:
+            return self._sweeps.run(self._sweeps.reverse, seeds).copy()
         dist = [_INF] * len(self._nodes)
-        backward = self._upward_search(self._index[target], self._down_in)
-        for idx, d in backward.items():
+        for idx, d in seeds.items():
             dist[idx] = d
         for u in self._order_desc:
             du = dist[u]
@@ -551,17 +615,55 @@ class CHOracle(DistanceOracle):
                 nd = w + du
                 if nd < dist[v]:
                     dist[v] = nd
-        arrivals = {
+        return {
             self._nodes[idx]: d for idx, d in enumerate(dist) if d != _INF
         }
-        self._arrival_cache[target] = arrivals
+
+    def _arrival_entry(self, target: int) -> list:
+        """Memoised ``[row, mapping]`` arrival pair (one miss per build).
+
+        The csr kernel memoises the dense sweep row and materialises the
+        public mapping lazily (:meth:`_arrivals_to`), so many-to-one
+        consumers that only read a handful of sources never pay the
+        O(nodes) dict conversion; the dict kernel stores its mapping
+        directly and leaves the row slot ``None``.
+        """
+        entry = self._arrival_cache.get(target)
+        if entry is not None:
+            self._cache_hits += 1
+            self._arrival_cache.move_to_end(target)
+            return entry
+        self._cache_misses += 1
+        self._reverse_sssp_runs += 1
+        native = self.reverse_sweep(self.reverse_seed_map(target))
+        if self._sweeps is not None:
+            entry = [native, None]
+        else:
+            entry = [None, native]
+        self._arrival_cache[target] = entry
         if (
             self._arrival_cache_size is not None
             and len(self._arrival_cache) > self._arrival_cache_size
         ):
             self._arrival_cache.popitem(last=False)
             self._evictions += 1
-        return arrivals
+        return entry
+
+    def _arrivals_to(self, target: int) -> dict[int, float]:
+        """Memoised reverse-PHAST arrival map keyed by public node id."""
+        entry = self._arrival_entry(target)
+        if entry[1] is None:
+            idxs, values = finite_entries(entry[0])
+            nodes = self._nodes
+            entry[1] = {
+                nodes[idx]: value
+                for idx, value in zip(idxs.tolist(), values.tolist())
+            }
+        return entry[1]
+
+    def _arrival_row(self, target: int):
+        """Memoised dense arrival row (csr kernel; ``None`` under dict)."""
+        return self._arrival_entry(target)[0]
 
     @_locked
     def travel_times_many(
@@ -625,17 +727,38 @@ class CHOracle(DistanceOracle):
                 len(needed_targets) == 1
                 and len(pending_by_source) >= _MANY_TO_ONE_CUTOFF
             )
-            arrival_answers: dict[int, dict[int, float]] = {}
+            use_csr = self._sweeps is not None
+            # Values are the kernel's native arrival representation: a
+            # dense row (csr) read per source by index, or a node-keyed
+            # mapping (dict).  Same floats either way — the sweeps relax
+            # identical sums and min is order-independent.
+            arrival_answers: dict[int, object] = {}
             bucket_targets: list[int] = []
             for t_node in needed_targets:
                 if wide or t_node in self._arrival_cache:
-                    arrival_answers[t_node] = self._arrivals_to(t_node)
+                    if use_csr:
+                        arrival_answers[t_node] = self._arrival_row(t_node)
+                    else:
+                        arrival_answers[t_node] = self._arrivals_to(t_node)
                 else:
                     bucket_targets.append(t_node)
             buckets: dict[int, list[tuple[int, float]]] = {}
-            for t_node in bucket_targets:
-                for idx, d in self._target_buckets(t_node).items():
-                    buckets.setdefault(idx, []).append((t_node, d))
+            csr_buckets: list[tuple[int, object, object]] = []
+            if use_csr:
+                # Per-target (nodes, dists) arrays: one vectorised
+                # gather-and-min per (source, target) pair instead of a
+                # Python loop over settled nodes.  Entries at nodes the
+                # forward search never settles contribute +inf and drop
+                # out of the min — exactly the pairs the dict scan skips.
+                for t_node in bucket_targets:
+                    nodes_arr, dists_arr = bucket_arrays(
+                        self._target_buckets(t_node)
+                    )
+                    csr_buckets.append((t_node, nodes_arr, dists_arr))
+            else:
+                for t_node in bucket_targets:
+                    for idx, d in self._target_buckets(t_node).items():
+                        buckets.setdefault(idx, []).append((t_node, d))
             for s_node, pending in pending_by_source.items():
                 bucket_pending = []
                 for t_node in pending:
@@ -643,7 +766,11 @@ class CHOracle(DistanceOracle):
                     if arrivals is None:
                         bucket_pending.append(t_node)
                         continue
-                    value = arrivals.get(s_node)
+                    if use_csr:
+                        row_value = float(arrivals[self._index[s_node]])
+                        value = None if row_value == _INF else row_value
+                    else:
+                        value = arrivals.get(s_node)
                     self._remember((s_node, t_node), value)
                     if value is not None:
                         result[(s_node, t_node)] = value
@@ -655,15 +782,26 @@ class CHOracle(DistanceOracle):
                 self._cache_misses += 1
                 best: dict[int, float] = {}
                 forward = self._upward_search(self._index[s_node], self._up_out)
-                for idx, df in forward.items():
-                    entries = buckets.get(idx)
-                    if not entries:
-                        continue
-                    self._bucket_scans += len(entries)
-                    for t_node, db in entries:
-                        nd = df + db
-                        if nd < best.get(t_node, _INF):
-                            best[t_node] = nd
+                if use_csr:
+                    pending_set = set(bucket_pending)
+                    dist_f = self._sweeps.seed_buffer(forward)
+                    for t_node, nodes_arr, dists_arr in csr_buckets:
+                        if t_node not in pending_set or not len(nodes_arr):
+                            continue
+                        self._bucket_scans += len(nodes_arr)
+                        value = float((dist_f[nodes_arr] + dists_arr).min())
+                        if value != _INF:
+                            best[t_node] = value
+                else:
+                    for idx, df in forward.items():
+                        entries = buckets.get(idx)
+                        if not entries:
+                            continue
+                        self._bucket_scans += len(entries)
+                        for t_node, db in entries:
+                            nd = df + db
+                            if nd < best.get(t_node, _INF):
+                                best[t_node] = nd
                 for t_node in bucket_pending:
                     value = best.get(t_node)
                     self._remember((s_node, t_node), value)
@@ -740,6 +878,58 @@ class CHOracle(DistanceOracle):
             currsize=len(self._pair_cache),
         )
 
+    # ------------------------------------------------------------------
+    # shared-memory protocol (process-mode dispatch shards)
+    # ------------------------------------------------------------------
+    @_locked
+    def share_memory(self) -> dict | None:
+        """Move the sweep arrays into shared memory; return the handle.
+
+        Only the csr kernel has flat arrays to share; the dict kernel
+        answers ``None`` and shards fall back to fork-inherited copies.
+        Idempotent: a second call returns the existing handle.
+        """
+        if self._sweeps is None:
+            return None
+        if self._shared_pack is None:
+            pack = SharedArrayPack.create(self._sweeps.export_arrays())
+            # The parent serves its own queries from the shared views
+            # too — one copy of the arrays, every process attached.
+            self._sweeps.replace_arrays(pack.arrays)
+            self._shared_pack = pack
+        return {
+            "kind": "ch-sweeps",
+            "segments": self._shared_pack.handle(),
+        }
+
+    @_locked
+    def adopt_shared(self, handle: Mapping) -> None:
+        """Attach this (child-process) oracle to shared sweep arrays."""
+        if self._sweeps is None or handle.get("kind") != "ch-sweeps":
+            return
+        pack = SharedArrayPack.attach(handle["segments"])
+        self._sweeps.replace_arrays(pack.arrays)
+        # Keep the pack referenced so the mappings outlive this call;
+        # the child's copy dies with the process, the parent unlinks.
+        self._shared_pack = pack
+
+    @_locked
+    def release_shared(self) -> None:
+        """Detach from shared memory and destroy the segments (creator).
+
+        The parent copies the arrays back to private memory first, so
+        the oracle keeps answering after the engine that shared it shuts
+        down; segments are unlinked exactly once.
+        """
+        if self._shared_pack is None:
+            return
+        pack = self._shared_pack
+        self._shared_pack = None
+        if self._sweeps is not None:
+            self._sweeps.replace_arrays(pack.copies())
+        pack.close()
+        pack.unlink()
+
     @_locked
     def _extra_stats(self) -> dict[str, float]:
         return {
@@ -750,6 +940,14 @@ class CHOracle(DistanceOracle):
             "arrival_cached_targets": float(len(self._arrival_cache)),
             "preprocessing_from_cache": float(self._loaded_from_cache),
             "cache_load_failures": float(self.cache_load_failures),
+            # Set by the registry's cached-build path only; 0 when the
+            # hierarchy was contracted without an on-disk cache.
+            "cache_lock_timed_out": float(
+                getattr(self, "cache_lock_timed_out", 0)
+            ),
+            "cache_lock_took_over_stale": float(
+                getattr(self, "cache_lock_took_over_stale", 0)
+            ),
         }
 
     # ------------------------------------------------------------------

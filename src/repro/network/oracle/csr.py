@@ -1,0 +1,368 @@
+"""CSR array representation of prepared oracle graphs + vectorised kernels.
+
+The dict-based oracle inner loops (PHAST downward sweeps, RPHAST bucket
+scans, matrix row refresh) iterate Python objects edge by edge.  This
+module re-represents the *prepared* search structures as flat numpy
+arrays so the hot kernels become a handful of vectorised operations:
+
+* :func:`adjacency_to_csr` packs a list-of-adjacency graph into the
+  classic CSR triple ``(indptr, indices, weights)`` — ``int64`` index
+  arrays and one ``float64`` weight array, no per-edge Python objects;
+* :class:`LevelSweep` stores one PHAST sweep direction as level-grouped
+  edge arrays: every edge of the sweep DAG goes from a higher-ranked
+  tail to a lower-ranked head, so grouping edges by the tail's *level*
+  (longest dependency-path depth) turns the sweep into one
+  ``np.minimum.at`` scatter-relaxation per level — identical results to
+  the node-by-node dict sweep, since every tail distance is final
+  before its level is relaxed;
+* :class:`SharedArrayPack` places named arrays into
+  ``multiprocessing.shared_memory`` segments and re-attaches views from
+  a small picklable handle, so process-mode dispatch shards map one
+  copy of the prepared arrays instead of duplicating them per fork.
+
+numpy is optional: when it is absent ``HAVE_NUMPY`` is ``False``,
+:func:`resolve_kernel` answers ``"dict"`` for every request, and the
+oracles keep their pure-Python paths — nothing in this module is
+imported into a hot path without checking the flag first.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+# Re-exported here because this module is the kernel seam: callers ask
+# the oracle layer, not repro.compat, whether vectorisation exists.
+from ...compat import HAVE_NUMPY, np
+
+#: Valid values of the ``kernel`` oracle option.
+KERNELS = ("auto", "dict", "csr")
+
+
+def resolve_kernel(kernel: str) -> str:
+    """Resolve a requested kernel name to the one that will actually run.
+
+    ``"auto"`` picks ``"csr"`` when numpy is importable and ``"dict"``
+    otherwise; an explicit ``"csr"`` request degrades to ``"dict"`` when
+    numpy is absent (the pure-Python fallback is always available, and a
+    missing optional dependency must not fail a run).  Unknown names
+    raise ``ValueError`` — config layers turn that into a
+    ``ConfigurationError`` with the valid options listed.
+    """
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"unknown oracle kernel {kernel!r}; valid kernels: {KERNELS}"
+        )
+    if kernel == "dict":
+        return "dict"
+    return "csr" if HAVE_NUMPY else "dict"
+
+
+def adjacency_to_csr(
+    num_nodes: int, adjacency: Sequence[Sequence[tuple[int, float]]]
+):
+    """Pack ``adjacency[u] = [(v, w), ...]`` into ``(indptr, indices, weights)``.
+
+    ``indptr`` is ``int64`` of length ``num_nodes + 1``; ``indices`` and
+    ``weights`` hold the edges of node ``u`` in slots
+    ``indptr[u]:indptr[u + 1]``, preserving adjacency order.
+    """
+    if np is None:  # pragma: no cover - guarded by callers
+        raise RuntimeError("numpy is required for CSR packing")
+    counts = np.fromiter(
+        (len(edges) for edges in adjacency), dtype=np.int64, count=num_nodes
+    )
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    total = int(indptr[-1])
+    indices = np.empty(total, dtype=np.int64)
+    weights = np.empty(total, dtype=np.float64)
+    pos = 0
+    for edges in adjacency:
+        for v, w in edges:
+            indices[pos] = v
+            weights[pos] = w
+            pos += 1
+    return indptr, indices, weights
+
+
+def compute_levels(
+    order_desc: Sequence[int],
+    adjacencies: Sequence[Sequence[Sequence[tuple[int, float]]]],
+) -> list[int]:
+    """Longest-dependency-path level of every node under the sweep DAGs.
+
+    ``order_desc`` is the node processing order (decreasing CH rank);
+    every edge of every adjacency goes from a node processed earlier to
+    one processed later, so a single pass in processing order computes
+    ``level[v] = 1 + max(level of predecessors)``.  All adjacencies
+    share one level assignment, letting the forward and reverse sweeps
+    reuse the same grouping.
+    """
+    level = [0] * (len(order_desc))
+    for u in order_desc:
+        lu = level[u] + 1
+        for adjacency in adjacencies:
+            for v, _ in adjacency[u]:
+                if level[v] < lu:
+                    level[v] = lu
+    return level
+
+
+class LevelSweep:
+    """One PHAST sweep direction as level-grouped flat edge arrays.
+
+    ``sweep`` relaxes every edge exactly once, level by level: within a
+    level all tail distances are final (every edge strictly increases
+    the level), so one unbuffered ``np.minimum.at`` per level reproduces
+    the sequential dict sweep's results exactly — the same ``tail + w``
+    sums feed the same minima, only grouped differently.
+    """
+
+    __slots__ = ("tails", "heads", "weights", "level_ptr", "_level_views")
+
+    def __init__(self, tails, heads, weights, level_ptr) -> None:
+        self.tails = tails
+        self.heads = heads
+        self.weights = weights
+        #: Python list of slice boundaries, one entry per level + 1.
+        self.level_ptr = level_ptr
+        self._rebuild_views()
+
+    def _rebuild_views(self) -> None:
+        # Slicing per level inside the sweep costs three array-view
+        # constructions per level per query; on small graphs that
+        # overhead rivals the relaxation itself.  The views are cheap to
+        # keep (they alias the flat arrays), so build them once.  Empty
+        # levels are dropped — their minimum.at would be a no-op.
+        self._level_views = []
+        ptr = self.level_ptr
+        for i in range(len(ptr) - 1):
+            s, e = ptr[i], ptr[i + 1]
+            if e > s:
+                self._level_views.append(
+                    (self.tails[s:e], self.heads[s:e], self.weights[s:e])
+                )
+
+    @classmethod
+    def from_adjacency(
+        cls,
+        adjacency: Sequence[Sequence[tuple[int, float]]],
+        level: Sequence[int],
+    ) -> "LevelSweep":
+        """Group ``adjacency``'s edges by the tail node's level."""
+        if np is None:  # pragma: no cover - guarded by callers
+            raise RuntimeError("numpy is required for the CSR kernel")
+        per_level: dict[int, list[tuple[int, int, float]]] = {}
+        for u, edges in enumerate(adjacency):
+            if not edges:
+                continue
+            bucket = per_level.setdefault(level[u], [])
+            for v, w in edges:
+                bucket.append((u, v, w))
+        total = sum(len(bucket) for bucket in per_level.values())
+        tails = np.empty(total, dtype=np.int64)
+        heads = np.empty(total, dtype=np.int64)
+        weights = np.empty(total, dtype=np.float64)
+        level_ptr = [0]
+        pos = 0
+        for lvl in sorted(per_level):
+            for u, v, w in per_level[lvl]:
+                tails[pos] = u
+                heads[pos] = v
+                weights[pos] = w
+                pos += 1
+            level_ptr.append(pos)
+        return cls(tails, heads, weights, level_ptr)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.tails)
+
+    def sweep(self, dist) -> None:
+        """Relax every edge into ``dist`` (float64, inf = unreached), in place."""
+        minimum_at = np.minimum.at
+        for tails, heads, weights in self._level_views:
+            minimum_at(dist, heads, dist[tails] + weights)
+
+    def export_arrays(self) -> dict:
+        """The big arrays, for shared-memory placement (keyed by slot)."""
+        return {"tails": self.tails, "heads": self.heads, "weights": self.weights}
+
+    def replace_arrays(self, arrays: Mapping) -> None:
+        """Swap the edge arrays for (shared-memory) views of equal shape."""
+        self.tails = arrays["tails"]
+        self.heads = arrays["heads"]
+        self.weights = arrays["weights"]
+        # The per-level views alias the old arrays; rebuild them so the
+        # sweep reads the (shared-memory) replacements.
+        self._rebuild_views()
+
+
+class CHSweepKernel:
+    """Both PHAST sweep directions of one contraction hierarchy.
+
+    ``forward`` relaxes downward out-edges (one-to-all PHAST);
+    ``reverse`` relaxes upward in-edges (all-to-one reverse PHAST).
+    One preallocated float64 distance buffer is reused across queries —
+    the owning oracle serialises queries behind its lock.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        order_desc: Sequence[int],
+        down_out: Sequence[Sequence[tuple[int, float]]],
+        up_in: Sequence[Sequence[tuple[int, float]]],
+    ) -> None:
+        level = compute_levels(order_desc, (down_out, up_in))
+        self.forward = LevelSweep.from_adjacency(down_out, level)
+        self.reverse = LevelSweep.from_adjacency(up_in, level)
+        self._num_nodes = num_nodes
+        self._dist = np.empty(num_nodes, dtype=np.float64)
+
+    def run(self, sweep: LevelSweep, seeds: Mapping[int, float]):
+        """Seed the buffer from ``seeds`` and run one sweep over it.
+
+        Returns the buffer itself (valid until the next ``run``); use
+        :func:`finite_entries` to extract the reachable part.
+        """
+        dist = self._dist
+        dist.fill(np.inf)
+        if seeds:
+            idx = np.fromiter(seeds.keys(), dtype=np.int64, count=len(seeds))
+            val = np.fromiter(seeds.values(), dtype=np.float64, count=len(seeds))
+            dist[idx] = val
+        sweep.sweep(dist)
+        return dist
+
+    def seed_buffer(self, seeds: Mapping[int, float]):
+        """Fill the buffer from ``seeds`` without sweeping (bucket scans)."""
+        dist = self._dist
+        dist.fill(np.inf)
+        if seeds:
+            idx = np.fromiter(seeds.keys(), dtype=np.int64, count=len(seeds))
+            val = np.fromiter(seeds.values(), dtype=np.float64, count=len(seeds))
+            dist[idx] = val
+        return dist
+
+    # -- shared-memory support -----------------------------------------
+    def export_arrays(self) -> dict[str, object]:
+        out = {}
+        for prefix, sweep in (("fwd", self.forward), ("rev", self.reverse)):
+            for key, arr in sweep.export_arrays().items():
+                out[f"{prefix}_{key}"] = arr
+        return out
+
+    def replace_arrays(self, arrays: Mapping) -> None:
+        for prefix, sweep in (("fwd", self.forward), ("rev", self.reverse)):
+            sweep.replace_arrays(
+                {
+                    key: arrays[f"{prefix}_{key}"]
+                    for key in ("tails", "heads", "weights")
+                }
+            )
+
+
+def finite_entries(dist):
+    """Indices and values of the finite entries of a distance buffer."""
+    idx = np.flatnonzero(np.isfinite(dist))
+    return idx, dist[idx]
+
+
+def bucket_arrays(bucket: Mapping[int, float]):
+    """A target bucket ``{node_idx: dist}`` as ``(nodes, dists)`` arrays."""
+    nodes = np.fromiter(bucket.keys(), dtype=np.int64, count=len(bucket))
+    dists = np.fromiter(bucket.values(), dtype=np.float64, count=len(bucket))
+    return nodes, dists
+
+
+class SharedArrayPack:
+    """Named numpy arrays backed by ``multiprocessing.shared_memory``.
+
+    ``create`` copies the arrays into fresh segments and returns a pack
+    whose ``arrays`` are views into them; ``handle()`` is a small
+    picklable description (segment name, dtype, shape per array) a child
+    process turns back into views with ``attach`` — the handle's size is
+    independent of the array sizes, which is the whole point.  The
+    creator calls ``unlink()`` exactly once when the arrays are done;
+    every attacher (and the creator) calls ``close()`` to drop its own
+    mapping.
+    """
+
+    def __init__(self, segments: dict, arrays: dict, owner: bool = True) -> None:
+        self._segments = segments
+        self.arrays = arrays
+        #: Only the creating process may unlink; attachers' ``unlink()``
+        #: is a no-op so a confused teardown can never destroy segments
+        #: other processes still map.
+        self._owner = owner
+        self._unlinked = False
+
+    @classmethod
+    def create(cls, arrays: Mapping) -> "SharedArrayPack":
+        from multiprocessing import shared_memory
+
+        segments: dict = {}
+        views: dict = {}
+        try:
+            for key, arr in arrays.items():
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, int(arr.nbytes))
+                )
+                segments[key] = shm
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                view[...] = arr
+                views[key] = view
+        except Exception:
+            for shm in segments.values():
+                shm.close()
+                shm.unlink()
+            raise
+        return cls(segments, views)
+
+    @classmethod
+    def attach(cls, handle: Mapping) -> "SharedArrayPack":
+        from multiprocessing import shared_memory
+
+        segments: dict = {}
+        views: dict = {}
+        try:
+            for key, (name, dtype, shape) in handle.items():
+                shm = shared_memory.SharedMemory(name=name, create=False)
+                segments[key] = shm
+                views[key] = np.ndarray(
+                    tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf
+                )
+        except Exception:
+            for shm in segments.values():
+                shm.close()
+            raise
+        return cls(segments, views, owner=False)
+
+    def handle(self) -> dict:
+        """Picklable description sufficient to :meth:`attach` elsewhere."""
+        return {
+            key: (shm.name, str(self.arrays[key].dtype), self.arrays[key].shape)
+            for key, shm in self._segments.items()
+        }
+
+    def copies(self) -> dict:
+        """Private (non-shared) copies of every array."""
+        return {key: np.array(arr, copy=True) for key, arr in self.arrays.items()}
+
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid)."""
+        self.arrays = {}
+        for shm in self._segments.values():
+            shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segments (creator only; idempotent)."""
+        if self._unlinked or not self._owner:
+            return
+        self._unlinked = True
+        for shm in self._segments.values():
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass

@@ -26,10 +26,14 @@ from collections import OrderedDict
 from typing import Iterable, Mapping
 
 import networkx as nx
-import numpy as np
 
+# numpy is optional: the dict kernel keeps rows as Python lists
+from ...compat import np
 from ...exceptions import UnreachableError
 from .base import CacheInfo, DistanceOracle
+from .csr import SharedArrayPack, resolve_kernel
+
+_INF = float("inf")
 
 #: Bound on memoised reverse arrival maps (each is O(num_nodes)).
 DEFAULT_MAX_REVERSE_MAPS = 1024
@@ -57,14 +61,23 @@ class MatrixOracle(DistanceOracle):
         graph: nx.DiGraph,
         nodes: Iterable[int] | None = None,
         max_rows: int | None = None,
+        kernel: str = "auto",
     ) -> None:
         super().__init__(graph)
+        #: Requested and resolved kernel: "csr" stores rows as float64
+        #: numpy vectors with vectorised refresh (and can place them in
+        #: shared memory for process shards); "dict" stores plain Python
+        #: lists — same indexing, no numpy dependency.
+        self.requested_kernel = kernel
+        self.kernel = resolve_kernel(kernel)
         started = time.perf_counter()
+        self._node_order = sorted(graph.nodes)
         self._columns: dict[int, int] = {
-            node: idx for idx, node in enumerate(sorted(graph.nodes))
+            node: idx for idx, node in enumerate(self._node_order)
         }
         self._num_nodes = len(self._columns)
-        self._rows: dict[int, np.ndarray] = {}
+        self._rows: dict[int, "np.ndarray | list[float]"] = {}
+        self._shared_pack: SharedArrayPack | None = None
         # Reverse arrival maps (target -> {source: seconds}) built for
         # many-to-one batches whose sources have no rows; memoised (LRU
         # bounded, each map is O(V)) so repeated dispatch probes against
@@ -228,6 +241,60 @@ class MatrixOracle(DistanceOracle):
         }
 
     # ------------------------------------------------------------------
+    # shared-memory protocol (process-mode dispatch shards)
+    # ------------------------------------------------------------------
+    def share_memory(self) -> dict | None:
+        """Stack the built rows into one shared 2D segment; return handle.
+
+        Rows built *after* sharing stay private to whichever process
+        builds them (exactly as forked copies behave today); the shared
+        block covers the rows that exist at pool start — the bulk of
+        the memory for a prewarmed oracle.
+        """
+        if self.kernel != "csr" or not self._rows:
+            return None
+        if self._shared_pack is None:
+            order = list(self._rows)
+            stacked = np.stack([self._rows[source] for source in order])
+            pack = SharedArrayPack.create({"rows": stacked})
+            shared = pack.arrays["rows"]
+            for i, source in enumerate(order):
+                self._rows[source] = shared[i]
+            self._shared_pack = pack
+            self._shared_order = order
+        return {
+            "kind": "matrix-rows",
+            "order": list(self._shared_order),
+            "segments": self._shared_pack.handle(),
+        }
+
+    def adopt_shared(self, handle) -> None:
+        """Attach this (child-process) oracle to the shared row block."""
+        if self.kernel != "csr" or handle.get("kind") != "matrix-rows":
+            return
+        pack = SharedArrayPack.attach(handle["segments"])
+        shared = pack.arrays["rows"]
+        for i, source in enumerate(handle["order"]):
+            self._rows[source] = shared[i]
+        self._shared_pack = pack
+
+    def release_shared(self) -> None:
+        """Copy shared rows back to private memory and unlink (creator)."""
+        if self._shared_pack is None:
+            return
+        pack = self._shared_pack
+        self._shared_pack = None
+        order = getattr(self, "_shared_order", [])
+        self._shared_order = []
+        shared = pack.arrays.get("rows")
+        if shared is not None:
+            for i, source in enumerate(order):
+                if source in self._rows:
+                    self._rows[source] = np.array(shared[i], copy=True)
+        pack.close()
+        pack.unlink()
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _arrivals_to(self, target: int) -> dict[int, float]:
@@ -249,11 +316,21 @@ class MatrixOracle(DistanceOracle):
         if not sources:
             return
         self._refreshes += 1
+        node_order = self._node_order
+        use_csr = self.kernel == "csr"
         for source in sources:
             distances = self._dijkstra_from(source)
-            row = np.full(self._num_nodes, np.inf, dtype=np.float64)
-            for node, value in distances.items():
-                row[self._columns[node]] = value
+            get = distances.get
+            if use_csr:
+                # Vectorised refresh: one bulk fill per row instead of a
+                # Python assignment per settled node.
+                row: "np.ndarray | list[float]" = np.fromiter(
+                    (get(node, _INF) for node in node_order),
+                    dtype=np.float64,
+                    count=self._num_nodes,
+                )
+            else:
+                row = [get(node, _INF) for node in node_order]
             self._rows[source] = row
         if self._max_rows is not None:
             while len(self._rows) > self._max_rows:

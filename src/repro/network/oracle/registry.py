@@ -22,6 +22,7 @@ from ...resilience.degradation import DegradationLog
 from ...resilience.faults import fault_point
 from .base import DistanceOracle
 from .ch import DEFAULT_BUCKET_CACHE_SIZE, DEFAULT_WITNESS_HOP_LIMIT, CHOracle
+from .csr import resolve_kernel
 from .landmark import DEFAULT_NUM_LANDMARKS, LandmarkOracle
 from .lazy import DEFAULT_MAX_SOURCES, LazyDijkstraOracle
 from .matrix import MatrixOracle
@@ -56,7 +57,11 @@ def _make_landmark(graph: nx.DiGraph, **options) -> LandmarkOracle:
 
 
 def _make_matrix(graph: nx.DiGraph, **options) -> MatrixOracle:
-    return MatrixOracle(graph, nodes=options.get("nodes"))
+    return MatrixOracle(
+        graph,
+        nodes=options.get("nodes"),
+        kernel=options.get("kernel", "auto"),
+    )
 
 
 class _CHCacheAttempt:
@@ -127,6 +132,7 @@ def _make_ch(graph: nx.DiGraph, **options) -> CHOracle:
         witness_hop_limit=hop_limit,
         bucket_cache_size=options.get("cache_size", DEFAULT_BUCKET_CACHE_SIZE),
         seed=options.get("seed", 0),
+        kernel=options.get("kernel", "auto"),
     )
     cache_dir = options.get("cache_dir")
     if not cache_dir:
@@ -227,6 +233,7 @@ def create_oracle(
     witness_hop_limit: int | None = None,
     cache_dir: str | None = None,
     seed: int = 0,
+    kernel: str | None = None,
     degradations: DegradationLog | None = None,
 ) -> DistanceOracle:
     """Instantiate a registered backend over ``graph``.
@@ -261,6 +268,8 @@ def create_oracle(
         options["witness_hop_limit"] = witness_hop_limit
     if cache_dir is not None:
         options["cache_dir"] = cache_dir
+    if kernel is not None:
+        options["kernel"] = kernel
     if degradations is not None:
         options["degradations"] = degradations
     return factory(graph, **options)
@@ -324,6 +333,7 @@ def configure_oracle(
             witness_hop_limit=config.oracle_witness_hops,
             cache_dir=config.oracle_cache_dir,
             seed=config.seed,
+            kernel=getattr(config, "oracle_kernel", None),
             degradations=degradations,
         )
     except ConfigurationError:
@@ -362,9 +372,13 @@ def _options_match(oracle: DistanceOracle, config: "SimulationConfig") -> bool:
         return oracle.cache_info().maxsize == config.oracle_cache_size
     if isinstance(oracle, LandmarkOracle):
         return oracle.requested_landmarks == config.oracle_landmarks
+    wanted_kernel = resolve_kernel(getattr(config, "oracle_kernel", "auto"))
     if isinstance(oracle, CHOracle):
         return (
             oracle.witness_hop_limit == config.oracle_witness_hops
             and oracle.bucket_cache_size == config.oracle_cache_size
+            and oracle.kernel == wanted_kernel
         )
+    if isinstance(oracle, MatrixOracle):
+        return oracle.kernel == wanted_kernel
     return True

@@ -190,10 +190,22 @@ def usable_cpu_count() -> int:
 _SHARD_NETWORK: "RoadNetwork | None" = None
 
 
-def _init_shard_worker(network: "RoadNetwork") -> None:
-    """Pool-worker initializer: adopt the engine's network handle."""
+def _init_shard_worker(network: "RoadNetwork", handle: dict | None = None) -> None:
+    """Pool-worker initializer: adopt the engine's network handle.
+
+    With a shared-memory ``handle`` the worker also re-attaches its
+    oracle's prepared arrays (CSR sweep arrays, matrix rows) to the
+    parent's ``multiprocessing.shared_memory`` segments by name, so
+    every shard reads *one* copy instead of relying on copy-on-write
+    luck — and so the attachment survives pool restarts and would
+    survive a non-fork start method.
+    """
     global _SHARD_NETWORK
     _SHARD_NETWORK = network
+    if handle is not None:
+        oracle = getattr(network, "oracle", None)
+        if oracle is not None:
+            oracle.adopt_shared(handle)
 
 
 def _shard_task(sources: list[int], targets: list[int]):
@@ -244,6 +256,12 @@ class ParallelDispatchEngine:
         How many times a process pool whose worker died may be
         restarted before the engine degrades to serial execution for
         the rest of the run.
+    shared_memory:
+        Whether process-mode shards attach to one
+        ``multiprocessing.shared_memory`` copy of the oracle's
+        prepared arrays (``DistanceOracle.share_memory`` /
+        ``adopt_shared``).  A no-op for thread mode and for oracles
+        with nothing to share (the dict kernel, lazy/landmark).
     """
 
     def __init__(
@@ -254,6 +272,7 @@ class ParallelDispatchEngine:
         *,
         degradations: DegradationLog | None = None,
         max_pool_restarts: int = 1,
+        shared_memory: bool = True,
     ) -> None:
         if num_shards < 1:
             raise ConfigurationError("num_shards must be at least 1")
@@ -281,6 +300,13 @@ class ParallelDispatchEngine:
         self._closed = False
         self._degradations = degradations
         self._max_pool_restarts = max_pool_restarts
+        self.shared_memory = shared_memory
+        # Handle of the oracle's shared prepared-array segments (None
+        # until a process pool shares them) and the oracle that must be
+        # released at close.  The handle is tiny — segment names plus
+        # dtypes/shapes — and the same one serves restarted pools.
+        self._shared_handle: dict | None = None
+        self._shared_oracle: Any = None
         # Thread-mode shard tasks serialise behind this lock unless the
         # backend declares its queries thread-safe.
         self._oracle_lock = threading.Lock()
@@ -340,11 +366,30 @@ class ParallelDispatchEngine:
         context = multiprocessing.get_context("fork")
         from concurrent.futures import ProcessPoolExecutor
 
+        if self.shared_memory and self._shared_handle is None:
+            oracle = getattr(self._network, "oracle", None)
+            if oracle is not None:
+                try:
+                    handle = oracle.share_memory()
+                except (OSError, ValueError) as exc:
+                    # Out of /dev/shm (or an exotic platform): forked
+                    # copy-on-write pages still work, just per-child.
+                    handle = None
+                    self._record_degradation(
+                        "dispatch.shared_memory",
+                        "shared",
+                        "private",
+                        f"sharing oracle arrays failed "
+                        f"({type(exc).__name__}: {exc})",
+                    )
+                if handle is not None:
+                    self._shared_handle = handle
+                    self._shared_oracle = oracle
         self._pool = ProcessPoolExecutor(
             max_workers=self.num_shards,
             mp_context=context,
             initializer=_init_shard_worker,
-            initargs=(self._network,),
+            initargs=(self._network, self._shared_handle),
         )
 
     def _restart_process_pool(self) -> None:
@@ -379,7 +424,13 @@ class ParallelDispatchEngine:
             self._degradations.record(site, from_value, to_value, reason)
 
     def close(self) -> None:
-        """Shut the worker pool down; later calls run inline (idempotent)."""
+        """Shut the worker pool down; later calls run inline (idempotent).
+
+        Shared oracle segments are released *after* the pool has fully
+        drained — the parent copies the arrays back private and unlinks
+        the segments, so nothing leaks into ``/dev/shm`` past the
+        engine's lifetime.
+        """
         if self._closed:
             return
         self._closed = True
@@ -389,6 +440,10 @@ class ParallelDispatchEngine:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._shared_oracle is not None:
+            self._shared_oracle.release_shared()
+            self._shared_oracle = None
+            self._shared_handle = None
 
     def __enter__(self) -> "ParallelDispatchEngine":
         return self
@@ -648,7 +703,9 @@ class ParallelDispatchEngine:
     # ------------------------------------------------------------------
     #: Keys of an ``OracleStats.as_dict()`` delta that are monotone
     #: counters and therefore meaningful to sum across shard tasks
-    #: (ratios, gauges and structural constants are not).
+    #: (ratios, gauges and structural constants are not).  Backend
+    #: extras arrive namespaced (``"ch.bucket_scans"``); matching is on
+    #: the bare counter name, the stored key keeps the namespace.
     _FOLDABLE_COUNTERS = frozenset(
         {
             "queries",
@@ -667,7 +724,7 @@ class ParallelDispatchEngine:
 
     def _fold_counters(self, delta: Mapping[str, float | str]) -> None:
         for key, value in delta.items():
-            if key not in self._FOLDABLE_COUNTERS:
+            if key.rsplit(".", 1)[-1] not in self._FOLDABLE_COUNTERS:
                 continue
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 self._shard_counters[key] = self._shard_counters.get(key, 0.0) + value
@@ -692,6 +749,7 @@ class ParallelDispatchEngine:
             "pool_restarts": self._pool_restarts,
             "shard_failures": self._shard_failures,
             "shard_serial_fallbacks": self._serial_fallbacks,
+            "shared_memory_active": int(self._shared_handle is not None),
         }
         for key, value in sorted(self._shard_counters.items()):
             stats[f"shard_{key}"] = value

@@ -23,7 +23,7 @@ from repro.datasets.workloads import build_workload
 from repro.exceptions import ConfigurationError
 from repro.experiments.config import default_config
 from repro.experiments.runner import run_on_workload
-from repro.network.oracle import available_backends, create_oracle
+from repro.network.oracle import HAVE_NUMPY, available_backends, create_oracle
 from repro.network.oracle.cache import (
     ch_cache_path,
     graph_signature,
@@ -135,6 +135,9 @@ class TestSessionReuse:
             spec.with_overrides(num_orders=30)
         )
 
+    @pytest.mark.skipif(
+        not HAVE_NUMPY, reason="WATTER-expect needs numpy (GMM fitting)"
+    )
     def test_custom_workload_providers_are_not_shared(self):
         session = Session()
         spec = _small_spec(algorithm="WATTER-expect")

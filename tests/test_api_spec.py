@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.api import ScenarioSpec, load_spec, save_spec
+from repro.api import OracleSpec, ScenarioSpec, load_spec, save_spec
 from repro.cli import _config_from_args, build_parser
 from repro.config import ExtraTimeWeights, SimulationConfig
 from repro.exceptions import ConfigurationError
@@ -137,6 +137,97 @@ class TestValidation:
         assert spec.algorithm == "WATTER-expect"
 
 
+class TestOracleSpec:
+    """The typed oracle front door: validation, round-trip, resolution."""
+
+    def test_nested_round_trip(self):
+        spec = ScenarioSpec(
+            num_orders=20,
+            oracle=OracleSpec(backend="ch", kernel="csr", cache_size=64),
+        )
+        rebuilt = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        assert isinstance(rebuilt.oracle, OracleSpec)
+
+    def test_to_dict_omits_unset_options(self):
+        data = OracleSpec(backend="ch", kernel="auto").to_dict()
+        assert data == {"backend": "ch", "kernel": "auto"}
+
+    def test_mapping_is_coerced(self):
+        spec = ScenarioSpec(oracle={"backend": "matrix", "kernel": "dict"})
+        assert spec.oracle == OracleSpec(backend="matrix", kernel="dict")
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"backend": "teleport"}, "unknown oracle backend"),
+            ({"backend": ""}, "non-empty string"),
+            ({"cache_size": True}, "cache_size must be an integer"),
+            ({"cache_size": 0}, "at least 1"),
+            ({"landmarks": 2.5}, "landmarks must be an integer"),
+            ({"cache_dir": 7}, "path string"),
+            ({"kernel": "simd"}, "kernel must be one of"),
+            ({"shared_memory": 1}, "shared_memory must be a boolean"),
+            # Options the named backend does not consume are rejected
+            # eagerly, naming the valid set.
+            ({"backend": "lazy", "kernel": "csr"}, "does not take option"),
+            ({"backend": "landmark", "cache_size": 8}, "does not take option"),
+            ({"backend": "matrix", "witness_hops": 2}, "does not take option"),
+        ],
+    )
+    def test_invalid_oracle_specs_raise(self, kwargs, match):
+        with pytest.raises(ConfigurationError, match=match):
+            OracleSpec(**kwargs)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="kernell"):
+            OracleSpec.from_dict({"backend": "ch", "kernell": "csr"})
+
+    def test_non_oracle_spec_value_rejected(self):
+        with pytest.raises(ConfigurationError, match="OracleSpec"):
+            ScenarioSpec(oracle="ch")
+
+    def test_contradicting_flat_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="contradicts"):
+            ScenarioSpec(
+                oracle=OracleSpec(backend="ch"), oracle_backend="lazy"
+            )
+        with pytest.raises(ConfigurationError, match="contradicts"):
+            ScenarioSpec(
+                oracle=OracleSpec(backend="ch", cache_size=32),
+                oracle_cache_size=64,
+            )
+
+    def test_agreeing_flat_field_accepted(self):
+        spec = ScenarioSpec(
+            oracle=OracleSpec(backend="ch"), oracle_backend="ch"
+        )
+        assert spec.config().oracle_backend == "ch"
+
+    def test_overrides_reach_the_config(self):
+        spec = ScenarioSpec(
+            oracle=OracleSpec(
+                backend="ch",
+                kernel="csr",
+                shared_memory=False,
+                witness_hops=2,
+            )
+        )
+        config = spec.config()
+        assert config.oracle_backend == "ch"
+        assert config.oracle_kernel == "csr"
+        assert config.oracle_shared_memory is False
+        assert config.oracle_witness_hops == 2
+
+    def test_unset_options_keep_config_defaults(self):
+        base = ScenarioSpec().config()
+        spec = ScenarioSpec(oracle=OracleSpec(backend="ch"))
+        config = spec.config()
+        assert config.oracle_backend == "ch"
+        assert config.oracle_kernel == base.oracle_kernel
+        assert config.oracle_shared_memory == base.oracle_shared_memory
+
+
 class TestResolution:
     def test_defaults_resolve_to_dataset_defaults(self):
         assert ScenarioSpec(dataset="CDC").config() == default_config("CDC")
@@ -215,6 +306,13 @@ class TestCliParity:
                 "thread",
             ],
             ["bench", "--dataset", "CDC", "--orders", "40", "--oracle", "matrix"],
+            [
+                "compare",
+                "--oracle",
+                "ch",
+                "--oracle-kernel",
+                "csr",
+            ],
             ["sweep", "--dataset", "CDC", "--workers", "8"],
         ],
     )
@@ -227,6 +325,22 @@ class TestCliParity:
             ["compare", "--oracle-cache", "/tmp/oracle-cache"]
         )
         assert _config_from_args(args).oracle_cache_dir == "/tmp/oracle-cache"
+
+    def test_oracle_kernel_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["compare", "--oracle", "ch", "--oracle-kernel", "dict"]
+        )
+        assert _config_from_args(args).oracle_kernel == "dict"
+        spec = ScenarioSpec.from_args(args)
+        assert spec.oracle is not None
+        assert spec.oracle.kernel == "dict"
+
+    def test_oracle_kernel_flag_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compare", "--oracle-kernel", "simd"]
+            )
+        assert "invalid choice" in capsys.readouterr().err
 
 
 class TestIdentity:

@@ -13,6 +13,7 @@ from repro.experiments.runner import (
     run_on_workload,
 )
 from repro.exceptions import ConfigurationError
+from repro.network.oracle import HAVE_NUMPY
 from repro.simulation.engine import Simulator
 
 
@@ -37,6 +38,10 @@ def small_workload(small_config):
 
 @pytest.fixture(scope="module")
 def expect_provider(small_config):
+    # WATTER-expect's GMM bootstrap needs numpy; the other algorithms
+    # under this fixture's module scope must still run without it.
+    if not HAVE_NUMPY:
+        return None
     return build_expect_provider("CDC", small_config, training_fraction=0.5)
 
 
@@ -44,6 +49,8 @@ def expect_provider(small_config):
 def test_every_algorithm_accounts_for_every_order(
     algorithm, small_workload, small_config, expect_provider
 ):
+    if algorithm == "WATTER-expect" and expect_provider is None:
+        pytest.skip("WATTER-expect needs numpy (GMM threshold fitting)")
     provider = expect_provider if algorithm == "WATTER-expect" else None
     result = run_on_workload(algorithm, small_workload, small_config, provider)
     metrics = result.metrics

@@ -2,13 +2,17 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
+from repro.compat import HAVE_NUMPY, np
 from repro.core.gmm import GaussianMixture
 from repro.core.threshold import ThresholdOptimizer, fit_extra_time_distribution
 from repro.exceptions import LearningError
 from tests.conftest import make_order
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="this module tests numpy-only subsystems"
+)
 
 
 def _bimodal_samples(seed=0, size=600):

@@ -714,7 +714,7 @@ class TestConfigSelection:
             lazy.total_extra_time, rel=1e-9
         )
         assert ch.unified_cost == pytest.approx(lazy.unified_cost, rel=1e-9)
-        assert ch.oracle_stats["shortcuts_added"] > 0
+        assert ch.oracle_stats["ch.shortcuts_added"] > 0
 
 
 class TestCliSelection:

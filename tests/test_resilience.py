@@ -418,7 +418,7 @@ class TestCacheFailureHandling:
         # Two failed reads, then the retried third succeeded — served
         # from cache, failures on the books.
         assert oracle.cache_load_failures == 2
-        assert oracle.stats().as_dict()["cache_load_failures"] == 2.0
+        assert oracle.stats().as_dict()["ch.cache_load_failures"] == 2.0
 
     def test_corrupt_cache_rebuilds_and_records_degradation(self, tmp_path):
         network, cache_dir, path = self._warm_cache(tmp_path)

@@ -23,6 +23,7 @@ import pytest
 
 from repro.api import ScenarioSpec, run_scenario
 from repro.network.generators import grid_city
+from repro.network.oracle import HAVE_NUMPY
 from repro.serve import (
     CANCELLED,
     COMPLETED,
@@ -305,6 +306,9 @@ class TestScenarioService:
             )
             assert record.result["graph_hash"] == direct.graph_hash
 
+    @pytest.mark.skipif(
+        not HAVE_NUMPY, reason="WATTER-expect needs numpy (GMM fitting)"
+    )
     def test_served_watter_expect_matches_direct_run(self):
         """The pooled session hands the run its memoised provider, so
         the learning-based algorithm is served bit-identically too."""
