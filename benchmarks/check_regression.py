@@ -85,6 +85,13 @@ def collect_ratios(trajectory: dict) -> dict[str, float]:
         # recorded 0.0 "ratio" carries no information; leaving it out
         # here routes the comparison to a skip, not a failure.
         ratios["csr_kernel.many_to_one_sweep_speedup"] = csr["speedup"]
+    coarsen = trajectory.get("coarsen", {})
+    if "speedup" in coarsen and coarsen.get("applicable", True):
+        # When the direct full-graph contraction was skipped for time
+        # (the default outside REPRO_BENCH_COARSEN_FULL=1 runs) the
+        # recorded 0.0 "ratio" carries no information; leaving it out
+        # routes the comparison to a skip, not a failure.
+        ratios["coarsen.readiness_speedup"] = coarsen["speedup"]
     return ratios
 
 
@@ -126,6 +133,14 @@ def compare(
                 skips.append(
                     f"{name}: csr kernel not applicable on candidate "
                     f"(numpy unavailable)"
+                )
+                continue
+            if name.startswith("coarsen.") and not candidate.get(
+                "coarsen", {}
+            ).get("applicable", True):
+                skips.append(
+                    f"{name}: direct full-graph contraction skipped on "
+                    f"candidate (REPRO_BENCH_COARSEN_FULL not set)"
                 )
                 continue
             failures.append(f"{name}: missing from candidate trajectory")

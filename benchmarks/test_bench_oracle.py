@@ -19,6 +19,8 @@ is the regression-gate baseline and is never written by tests).
 from __future__ import annotations
 
 import json
+import math
+import os
 from pathlib import Path
 
 import pytest
@@ -26,6 +28,7 @@ import pytest
 from repro.experiments.benchmarking import (
     CH_CACHE_ACCEPTANCE_SPEEDUP,
     CH_COLD_P2P_ACCEPTANCE_SPEEDUP,
+    COARSEN_READINESS_ACCEPTANCE_SPEEDUP,
     CSR_MANY_TO_ONE_ACCEPTANCE_SPEEDUP,
     MANY_TO_ONE_ACCEPTANCE_SPEEDUP,
     PARALLEL_ACCEPTANCE_MIN_CPUS,
@@ -34,6 +37,7 @@ from repro.experiments.benchmarking import (
     SPATIAL_ACCEPTANCE_SPEEDUP,
     bench_scenario_identity,
     benchmark_ch_preprocessing_cache,
+    benchmark_coarsening,
     benchmark_csr_kernel,
     benchmark_dispatch_queries,
     benchmark_oracles,
@@ -131,7 +135,31 @@ def csr_kernel_bench():
 
 
 @pytest.fixture(scope="module")
-def dispatch_bench(parallel_bench, ch_cache_bench, csr_kernel_bench):
+def coarsen_bench():
+    """Overlay readiness (coarsen + inner CH) vs direct CH contraction.
+
+    By default the direct full-graph contraction is *skipped* — at the
+    acceptance shape (>=100k nodes) it takes tens of minutes, far past
+    any CI ``timeout`` — and the result records ``applicable=False``;
+    the committed ``BENCH_dispatch.json`` baseline carries the full
+    measurement.  ``REPRO_BENCH_COARSEN_FULL=1`` opts into measuring the
+    direct side at the full city shape, ``REPRO_BENCH_COARSEN_NODES``
+    overrides the node count.  Every run — full or not — cross-checks
+    sampled overlay answers against exact Dijkstras inside the
+    benchmark, so the overlay side is always validated.
+    """
+    full = os.environ.get("REPRO_BENCH_COARSEN_FULL") == "1"
+    nodes = int(
+        os.environ.get("REPRO_BENCH_COARSEN_NODES", "102400" if full else "2304")
+    )
+    side = max(8, math.isqrt(nodes))
+    return benchmark_coarsening(
+        rows=side, cols=side, levels=4, measure_direct=full
+    )
+
+
+@pytest.fixture(scope="module")
+def dispatch_bench(parallel_bench, ch_cache_bench, csr_kernel_bench, coarsen_bench):
     """One shared dispatch benchmark run over every registered backend.
 
     The query mix is the dispatch hot path: >=32 idle worker locations
@@ -172,6 +200,7 @@ def dispatch_bench(parallel_bench, ch_cache_bench, csr_kernel_bench):
         parallel_bench,
         ch_cache=ch_cache_bench,
         csr_kernel=csr_kernel_bench,
+        coarsen=coarsen_bench,
         scenario=scenario,
     )
     return {result.backend: result for result in results}
@@ -373,6 +402,43 @@ def test_csr_kernel_sweep_speedup(csr_kernel_bench, dispatch_bench):
         f"1/{CSR_MANY_TO_ONE_ACCEPTANCE_SPEEDUP:.0f} of the dict sweep's "
         f"{csr_kernel_bench.dict_seconds:.4f}s "
         f"({csr_kernel_bench.speedup:.2f}x)"
+    )
+
+
+def test_coarsen_readiness(coarsen_bench, dispatch_bench):
+    """Overlay readiness must beat direct CH contraction >=10x at scale.
+
+    The shared fixture records the measurement (and whether the direct
+    side actually ran) in ``BENCH_dispatch.fresh.json``; the asserted
+    bar only applies when ``REPRO_BENCH_COARSEN_FULL=1`` measured the
+    direct contraction — otherwise the committed baseline carries the
+    full-shape numbers and this test checks the honesty invariants of
+    the fresh record.
+    """
+    trajectory = json.loads(
+        (Path(__file__).parent.parent / "BENCH_dispatch.fresh.json").read_text()
+    )
+    block = trajectory["acceptance"]["coarsen_readiness_speedup"]
+    assert block["threshold"] == COARSEN_READINESS_ACCEPTANCE_SPEEDUP
+    assert block["value"] == pytest.approx(coarsen_bench.speedup)
+    assert block["applicable"] == coarsen_bench.applicable
+    recorded = trajectory["coarsen"]
+    # The coarsening genuinely compressed the graph, readiness cost was
+    # recorded honestly, and the sampled overlay answers stayed within
+    # the certified bound (the benchmark raises otherwise).
+    assert 0 < recorded["coarse_nodes"] < recorded["num_nodes"]
+    assert recorded["overlay_ready_seconds"] > 0.0
+    assert recorded["max_relative_error"] <= recorded["error_bound"] + 1e-9
+    if not coarsen_bench.applicable:
+        pytest.skip(
+            "direct full-graph contraction skipped "
+            "(set REPRO_BENCH_COARSEN_FULL=1 to measure it)"
+        )
+    assert coarsen_bench.speedup >= COARSEN_READINESS_ACCEPTANCE_SPEEDUP, (
+        f"overlay ready in {coarsen_bench.overlay_ready_seconds:.1f}s, "
+        f"direct contraction {coarsen_bench.direct_ch_seconds:.1f}s "
+        f"({coarsen_bench.speedup:.1f}x, needed "
+        f">={COARSEN_READINESS_ACCEPTANCE_SPEEDUP:.0f}x)"
     )
 
 

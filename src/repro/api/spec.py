@@ -47,7 +47,28 @@ ORACLE_OPTIONS_BY_BACKEND: dict[str, tuple[str, ...]] = {
     "lazy": ("cache_size",),
     "landmark": ("landmarks",),
     "matrix": ("kernel", "shared_memory"),
-    "ch": ("cache_size", "witness_hops", "cache_dir", "kernel", "shared_memory"),
+    "ch": (
+        "cache_size",
+        "witness_hops",
+        "cache_dir",
+        "kernel",
+        "shared_memory",
+        "contraction_order",
+        "coarsen_levels",
+        "coarsen_alpha",
+        "coarsen_beta",
+    ),
+    "overlay": (
+        "cache_size",
+        "witness_hops",
+        "cache_dir",
+        "kernel",
+        "coarsen_levels",
+        "coarsen_alpha",
+        "coarsen_beta",
+        "coarsen_error_bound",
+        "coarsen_refine",
+    ),
 }
 
 #: OracleSpec option -> the flat ScenarioSpec / SimulationConfig field
@@ -60,6 +81,12 @@ _ORACLE_FIELD_MAP = {
     "cache_dir": "oracle_cache_dir",
     "kernel": "oracle_kernel",
     "shared_memory": "oracle_shared_memory",
+    "coarsen_levels": "oracle_coarsen_levels",
+    "coarsen_alpha": "oracle_coarsen_alpha",
+    "coarsen_beta": "oracle_coarsen_beta",
+    "coarsen_error_bound": "oracle_coarsen_error_bound",
+    "coarsen_refine": "oracle_coarsen_refine",
+    "contraction_order": "oracle_contraction_order",
 }
 
 
@@ -92,6 +119,16 @@ class OracleSpec:
     shared_memory:
         Whether process-mode dispatch shards attach to one
         shared-memory copy of the oracle's prepared arrays.
+    coarsen_levels, coarsen_alpha, coarsen_beta:
+        Multilevel-coarsening knobs of the overlay backend (and of the
+        ch backend's ``contraction_order="coarsening"`` variant).
+    coarsen_error_bound:
+        Certified relative error ceiling of overlay estimates.
+    coarsen_refine:
+        ``True`` makes the overlay answer every query exactly.
+    contraction_order:
+        ``"edge_difference"`` | ``"coarsening"`` — node-ordering
+        strategy of the ch backend's contraction.
 
     Setting an option a *built-in* backend does not consume raises a
     :class:`ConfigurationError` listing the backend's valid options at
@@ -105,6 +142,12 @@ class OracleSpec:
     cache_dir: str | None = None
     kernel: str | None = None
     shared_memory: bool | None = None
+    coarsen_levels: int | None = None
+    coarsen_alpha: float | None = None
+    coarsen_beta: float | None = None
+    coarsen_error_bound: float | None = None
+    coarsen_refine: bool | None = None
+    contraction_order: str | None = None
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -120,7 +163,12 @@ class OracleSpec:
                     f"unknown oracle backend {self.backend!r}; available: "
                     f"{tuple(sorted(ORACLE_BACKENDS))}"
                 )
-        for option in ("cache_size", "landmarks", "witness_hops"):
+        for option in (
+            "cache_size",
+            "landmarks",
+            "witness_hops",
+            "coarsen_levels",
+        ):
             value = getattr(self, option)
             if value is None:
                 continue
@@ -152,6 +200,34 @@ class OracleSpec:
                 f"OracleSpec.shared_memory must be a boolean, "
                 f"got {self.shared_memory!r}"
             )
+        for option in ("coarsen_alpha", "coarsen_beta", "coarsen_error_bound"):
+            value = getattr(self, option)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ConfigurationError(
+                    f"OracleSpec.{option} must be a number, got {value!r}"
+                )
+            if value < 0:
+                raise ConfigurationError(
+                    f"OracleSpec.{option} must be non-negative, got {value}"
+                )
+            object.__setattr__(self, option, float(value))
+        if self.coarsen_refine is not None and not isinstance(
+            self.coarsen_refine, bool
+        ):
+            raise ConfigurationError(
+                f"OracleSpec.coarsen_refine must be a boolean, "
+                f"got {self.coarsen_refine!r}"
+            )
+        if self.contraction_order is not None:
+            from ..network.coarsen.order import CONTRACTION_ORDERS
+
+            if self.contraction_order not in CONTRACTION_ORDERS:
+                raise ConfigurationError(
+                    f"OracleSpec.contraction_order must be one of "
+                    f"{CONTRACTION_ORDERS}, got {self.contraction_order!r}"
+                )
         self._check_backend_options()
 
     def _check_backend_options(self) -> None:
@@ -566,18 +642,29 @@ class ScenarioSpec:
             field_name: getattr(config, field_name)
             for field_name in _CONFIG_FIELDS
         }
-        # Kernel / shared-memory knobs only exist on the typed spec;
-        # capture them there when the config strays from the defaults so
-        # ``spec.config() == config`` stays exact.
-        oracle = None
+        # Kernel / shared-memory / coarsening knobs only exist on the
+        # typed spec; capture them there when the config strays from the
+        # defaults so ``spec.config() == config`` stays exact.
+        defaults = SimulationConfig()
+        oracle_kwargs: dict[str, Any] = {}
         if (
             config.oracle_kernel != "auto"
             or config.oracle_shared_memory is not True
         ):
-            oracle = OracleSpec(
-                kernel=config.oracle_kernel,
-                shared_memory=config.oracle_shared_memory,
-            )
+            oracle_kwargs["kernel"] = config.oracle_kernel
+            oracle_kwargs["shared_memory"] = config.oracle_shared_memory
+        for option, config_field in (
+            ("coarsen_levels", "oracle_coarsen_levels"),
+            ("coarsen_alpha", "oracle_coarsen_alpha"),
+            ("coarsen_beta", "oracle_coarsen_beta"),
+            ("coarsen_error_bound", "oracle_coarsen_error_bound"),
+            ("coarsen_refine", "oracle_coarsen_refine"),
+            ("contraction_order", "oracle_contraction_order"),
+        ):
+            value = getattr(config, config_field, None)
+            if value is not None and value != getattr(defaults, config_field):
+                oracle_kwargs[option] = value
+        oracle = OracleSpec(**oracle_kwargs) if oracle_kwargs else None
         return cls(
             name=name,
             network="dataset",
@@ -603,10 +690,19 @@ class ScenarioSpec:
             value = getattr(args, arg_name, None)
             if value is not None:
                 overrides[field_name] = value
-        kernel = getattr(args, "oracle_kernel", None)
-        if kernel is not None:
-            # The kernel has no flat shim field: it rides on the typed spec.
-            overrides["oracle"] = OracleSpec(kernel=kernel)
+        # Kernel and coarsening knobs have no flat shim fields: they
+        # ride on the typed spec.
+        oracle_kwargs: dict[str, Any] = {}
+        for arg_name, option in (
+            ("oracle_kernel", "kernel"),
+            ("coarsen_levels", "coarsen_levels"),
+            ("coarsen_alpha", "coarsen_alpha"),
+        ):
+            value = getattr(args, arg_name, None)
+            if value is not None:
+                oracle_kwargs[option] = value
+        if oracle_kwargs:
+            overrides["oracle"] = OracleSpec(**oracle_kwargs)
         spec = cls(dataset=getattr(args, "dataset", "CDC"))
         return spec.with_overrides(**overrides) if overrides else spec
 

@@ -22,9 +22,11 @@ Six subcommands cover the common workflows:
   recovered after a crash, and ``SIGTERM`` drains gracefully within
   ``--drain-grace`` seconds (see docs/DURABILITY.md).
 
-Every workload command accepts ``--oracle {lazy,landmark,matrix,ch}``
-to pick the shortest-path backend and ``--oracle-cache DIR`` to persist
-(and reuse) CH preprocessing on disk, without touching any code.
+Every workload command accepts ``--oracle
+{lazy,landmark,matrix,ch,overlay}`` to pick the shortest-path backend
+(``overlay`` adds ``--coarsen-levels`` / ``--coarsen-alpha``) and
+``--oracle-cache DIR`` to persist (and reuse) CH preprocessing and
+coarsening hierarchies on disk, without touching any code.
 
 The CLI is intentionally a thin veneer over :mod:`repro.api` — every
 flag set maps onto a :class:`~repro.api.ScenarioSpec`, so anything it
@@ -353,7 +355,15 @@ def _positive_float(value: str) -> float:
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--dataset", default="CDC", choices=["NYC", "CDC", "XIA"])
+    parser.add_argument(
+        "--dataset",
+        default="CDC",
+        choices=["NYC", "CDC", "XIA", "LARGE", "LARGE-SYNTHETIC"],
+        help=(
+            "dataset preset: the paper's three cities, or LARGE — the "
+            "102400-node synthetic city for the overlay backend"
+        ),
+    )
     parser.add_argument("--orders", type=int, default=None, help="number of orders")
     parser.add_argument("--workers", type=int, default=None, help="number of workers")
     parser.add_argument("--horizon", type=float, default=None, help="horizon (s)")
@@ -381,6 +391,27 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
             "inner-loop kernel of the ch/matrix backends: csr = "
             "vectorised numpy sweeps, dict = pure Python, auto = csr "
             "when numpy is importable (identical answers either way)"
+        ),
+    )
+    parser.add_argument(
+        "--coarsen-levels",
+        type=_positive_int,
+        default=None,
+        metavar="L",
+        help=(
+            "matching passes of the overlay backend's multilevel "
+            "coarsener (more levels = smaller coarse graph, coarser "
+            "estimates; default 3)"
+        ),
+    )
+    parser.add_argument(
+        "--coarsen-alpha",
+        type=_positive_float,
+        default=None,
+        metavar="A",
+        help=(
+            "travel-time weight of the coarsener's merge cost "
+            "D_ij = alpha*tau_ij + beta*temporal_slack (default 1)"
         ),
     )
     parser.add_argument(
@@ -428,6 +459,10 @@ def _config_from_args(args: argparse.Namespace):
         overrides["oracle_cache_dir"] = args.oracle_cache
     if getattr(args, "oracle_kernel", None) is not None:
         overrides["oracle_kernel"] = args.oracle_kernel
+    if getattr(args, "coarsen_levels", None) is not None:
+        overrides["oracle_coarsen_levels"] = args.coarsen_levels
+    if getattr(args, "coarsen_alpha", None) is not None:
+        overrides["oracle_coarsen_alpha"] = args.coarsen_alpha
     if getattr(args, "dispatch_workers", None) is not None:
         overrides["dispatch_workers"] = args.dispatch_workers
     if getattr(args, "dispatch_mode", None) is not None:

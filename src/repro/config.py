@@ -130,6 +130,24 @@ class SimulationConfig:
         (default) picks csr when numpy is importable and dict otherwise.
         Both kernels produce identical answers (property-tested); lazy
         and landmark always use their dict paths.
+    oracle_coarsen_levels / oracle_coarsen_alpha / oracle_coarsen_beta:
+        Multilevel-coarsening knobs of the ``overlay`` backend (and of
+        the ``ch`` backend's coarsening-derived contraction order):
+        number of matching passes and the merge-cost weights of
+        ``D_ij = alpha*tau_ij + beta*temporal_slack``.
+    oracle_coarsen_error_bound:
+        Certified relative error ceiling of the ``overlay`` backend's
+        estimated answers; queries whose certified gap exceeds it are
+        refined exactly.
+    oracle_coarsen_refine:
+        ``True`` makes the ``overlay`` backend answer every query with
+        the exact (pruned-Dijkstra) distance — same answers as Dijkstra,
+        city-scale readiness cost.
+    oracle_contraction_order:
+        Node-ordering strategy of the ``ch`` backend's contraction:
+        ``"edge_difference"`` (classic lazy-heap priority, default) or
+        ``"coarsening"`` (absorbed-first order derived from the
+        multilevel hierarchy; queries stay exact either way).
     oracle_shared_memory:
         Whether process-mode dispatch shards attach to one
         ``multiprocessing.shared_memory`` copy of the oracle's prepared
@@ -170,6 +188,12 @@ class SimulationConfig:
     oracle_witness_hops: int = 5
     oracle_cache_dir: str | None = None
     oracle_kernel: str = "auto"
+    oracle_coarsen_levels: int = 3
+    oracle_coarsen_alpha: float = 1.0
+    oracle_coarsen_beta: float = 1.0
+    oracle_coarsen_error_bound: float = 0.25
+    oracle_coarsen_refine: bool = False
+    oracle_contraction_order: str = "edge_difference"
     oracle_shared_memory: bool = True
     dispatch_workers: int = 1
     dispatch_mode: str = "thread"
@@ -237,6 +261,26 @@ class SimulationConfig:
             )
         if not isinstance(self.oracle_shared_memory, bool):
             raise ConfigurationError("oracle_shared_memory must be a bool")
+        if self.oracle_coarsen_levels < 1:
+            raise ConfigurationError("oracle_coarsen_levels must be at least 1")
+        if self.oracle_coarsen_alpha < 0 or self.oracle_coarsen_beta < 0:
+            raise ConfigurationError(
+                "oracle coarsening weights must be non-negative"
+            )
+        if self.oracle_coarsen_error_bound < 0:
+            raise ConfigurationError(
+                "oracle_coarsen_error_bound must be non-negative"
+            )
+        if not isinstance(self.oracle_coarsen_refine, bool):
+            raise ConfigurationError("oracle_coarsen_refine must be a bool")
+        from .network.coarsen.order import CONTRACTION_ORDERS
+
+        if self.oracle_contraction_order not in CONTRACTION_ORDERS:
+            raise ConfigurationError(
+                f"unknown oracle_contraction_order "
+                f"{self.oracle_contraction_order!r}; "
+                f"available: {CONTRACTION_ORDERS}"
+            )
         if _constructed_externally():
             warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=3)
 

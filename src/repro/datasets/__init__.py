@@ -6,8 +6,10 @@ from .workloads import (
     nyc_like_city,
     cdc_like_city,
     xia_like_city,
+    large_synthetic_city,
     city_by_name,
     DATASET_NAMES,
+    LARGE_DATASET_NAMES,
 )
 from .io import orders_to_csv, orders_from_csv, workers_to_csv, workers_from_csv
 
@@ -19,8 +21,10 @@ __all__ = [
     "nyc_like_city",
     "cdc_like_city",
     "xia_like_city",
+    "large_synthetic_city",
     "city_by_name",
     "DATASET_NAMES",
+    "LARGE_DATASET_NAMES",
     "orders_to_csv",
     "orders_from_csv",
     "workers_to_csv",

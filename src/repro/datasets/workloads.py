@@ -20,10 +20,15 @@ from __future__ import annotations
 
 from ..config import SimulationConfig
 from ..exceptions import DatasetError
-from ..network.generators import grid_city, manhattan_like_city
+from ..network.generators import grid_city, large_city, manhattan_like_city
 from .synthetic import CityModel, DemandHotspot, PeakPeriod, Workload
 
+#: The paper's three city presets (kept separate from the city-scale
+#: stress preset below so sweeps over "the paper's datasets" stay fast).
 DATASET_NAMES = ("NYC", "CDC", "XIA")
+
+#: City-scale synthetic preset names (all aliases of one model).
+LARGE_DATASET_NAMES = ("LARGE", "LARGE-SYNTHETIC")
 
 
 def nyc_like_city(seed: int = 0) -> CityModel:
@@ -104,10 +109,51 @@ def xia_like_city(seed: int = 2) -> CityModel:
     )
 
 
+def large_synthetic_city(seed: int = 3) -> CityModel:
+    """A 102 400-node city for the coarsening / overlay stress path.
+
+    The network is :func:`~repro.network.generators.large_city`'s
+    320x320 arterial lattice (built in O(V+E)); demand uses the
+    *local-trip* model — dropoffs are Gaussian displacements of their
+    pickups and trip times come from early-terminating point-to-point
+    Dijkstras — so generating a workload touches only the sampled
+    neighbourhoods, never a full per-source distance map of the 10^5
+    nodes.  Selected as dataset ``"LARGE"`` (alias
+    ``"LARGE-SYNTHETIC"``) from :class:`~repro.api.ScenarioSpec` or
+    ``--dataset LARGE``; pair it with ``--oracle overlay`` for
+    city-scale dispatch.
+    """
+    network = large_city(rows=320, cols=320, seed=seed)
+    pickup_hotspots = [
+        DemandHotspot(x=160.0, y=160.0, spread=40.0, weight=2.0),
+        DemandHotspot(x=80.0, y=240.0, spread=30.0, weight=1.0),
+        DemandHotspot(x=240.0, y=80.0, spread=30.0, weight=1.0),
+    ]
+    # Unused while local_trip_spread is set, but a CityModel requires a
+    # dropoff side — keep it meaningful in case a caller clears the
+    # local-trip mode on a copy.
+    dropoff_hotspots = [
+        DemandHotspot(x=160.0, y=160.0, spread=50.0, weight=1.0),
+    ]
+    peaks = [PeakPeriod(start=3600.0, end=7200.0, intensity=1.8)]
+    return CityModel(
+        name="LARGE",
+        network=network,
+        pickup_hotspots=pickup_hotspots,
+        dropoff_hotspots=dropoff_hotspots,
+        uniform_fraction=0.20,
+        peak_periods=peaks,
+        min_trip_time=240.0,
+        local_trip_spread=12.0,
+    )
+
+
 _CITY_FACTORIES = {
     "NYC": nyc_like_city,
     "CDC": cdc_like_city,
     "XIA": xia_like_city,
+    "LARGE": large_synthetic_city,
+    "LARGE-SYNTHETIC": large_synthetic_city,
 }
 
 
@@ -118,7 +164,8 @@ def city_by_name(name: str, seed: int = 0) -> CityModel:
         factory = _CITY_FACTORIES[key]
     except KeyError as exc:
         raise DatasetError(
-            f"unknown dataset {name!r}; expected one of {DATASET_NAMES}"
+            f"unknown dataset {name!r}; expected one of "
+            f"{DATASET_NAMES + LARGE_DATASET_NAMES}"
         ) from exc
     return factory(seed=seed)
 

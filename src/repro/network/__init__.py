@@ -1,5 +1,11 @@
 """Road-network substrate: graphs, shortest paths, spatial indexing."""
 
+from .coarsen import (
+    CoarseningHierarchy,
+    MultilevelCoarsener,
+    OverlayOracle,
+    coarsening_contraction_order,
+)
 from .graph import RoadNetwork, build_network
 from .grid import GridIndex
 from .generators import (
@@ -30,12 +36,16 @@ __all__ = [
     "radial_city",
     "example_network",
     "CHOracle",
+    "CoarseningHierarchy",
     "DistanceOracle",
     "LazyDijkstraOracle",
     "LandmarkOracle",
     "MatrixOracle",
+    "MultilevelCoarsener",
     "OracleStats",
+    "OverlayOracle",
     "available_backends",
+    "coarsening_contraction_order",
     "configure_oracle",
     "create_oracle",
     "register_oracle",

@@ -1,0 +1,128 @@
+"""Disk persistence of coarsening hierarchies in the oracle cache.
+
+Mirrors :mod:`repro.network.oracle.cache`'s CH persistence: payloads
+are keyed by the full graph's content signature *plus* the coarsening
+parameters, written atomically, read under the resilience layer's
+retry policy, and quarantined to ``<name>.corrupt`` when unparseable.
+A payload that parses but does not partition the graph (or was built
+with other parameters) is an ordinary miss — the caller re-coarsens
+and overwrites it.
+
+Only the per-level parent maps are stored: coarse graphs and crossing
+edges are rebuilt from the base graph on load
+(:meth:`CoarseningHierarchy.from_payload`), which keeps payloads small
+and makes the graph itself the source of truth.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import networkx as nx
+
+from ...resilience.faults import fault_point
+from ...resilience.retry import retry_call
+from ..oracle.cache import CACHE_IO_POLICY, graph_signature, quarantine_cache_file
+from .coarsener import COARSEN_FORMAT, CoarseningHierarchy, CoarseningParams
+
+
+def coarsen_cache_path(
+    cache_dir: str | Path, graph: nx.DiGraph, params: CoarseningParams
+) -> Path:
+    """Cache-file location for ``graph`` coarsened with ``params``."""
+    signature = graph_signature(graph)
+    return Path(cache_dir) / (
+        f"coarsen-{signature[:24]}-L{params.levels}"
+        f"-a{params.alpha:g}-b{params.beta:g}-r{params.stop_ratio:g}.json"
+    )
+
+
+def load_hierarchy(
+    path: str | Path, graph: nx.DiGraph, params: CoarseningParams
+) -> CoarseningHierarchy | None:
+    """Read a persisted hierarchy, or ``None`` on any miss.
+
+    ``None`` uniformly covers no file, unreadable bytes (quarantined),
+    another graph's signature, other parameters, or a payload that no
+    longer partitions the graph — callers re-coarsen from scratch; the
+    cache can never change an answer, only make readiness fast.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        return None
+
+    def read_bytes() -> bytes:
+        fault_point("oracle.cache.load")
+        return file_path.read_bytes()
+
+    try:
+        blob = retry_call(read_bytes, policy=CACHE_IO_POLICY)
+    except OSError:
+        return None
+    try:
+        payload = json.loads(blob)
+    except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+        quarantine_cache_file(file_path)
+        return None
+    if not isinstance(payload, dict):
+        quarantine_cache_file(file_path)
+        return None
+    if payload.get("format") != COARSEN_FORMAT:
+        return None
+    if payload.get("graph") != graph_signature(graph):
+        return None
+    recorded = payload.get("params")
+    wanted = {
+        "levels": params.levels,
+        "alpha": params.alpha,
+        "beta": params.beta,
+        "stop_ratio": params.stop_ratio,
+    }
+    if recorded != wanted:
+        return None
+    data = payload.get("data")
+    if not isinstance(data, dict):
+        quarantine_cache_file(file_path)
+        return None
+    try:
+        return CoarseningHierarchy.from_payload(graph, data)
+    except ValueError:
+        # Parsed but semantically unusable for this graph: treat like
+        # any other rotten payload so the next process rebuilds once.
+        quarantine_cache_file(file_path)
+        return None
+
+
+def save_hierarchy(
+    path: str | Path, hierarchy: CoarseningHierarchy, graph: nx.DiGraph
+) -> Path:
+    """Persist ``hierarchy`` for ``graph`` at ``path`` (atomic, retried).
+
+    Raises ``OSError`` after the retry policy is exhausted; callers
+    treat saving as best effort — a run never fails because its cache
+    could not be written.
+    """
+    file_path = Path(path)
+    payload = {
+        "format": COARSEN_FORMAT,
+        "graph": graph_signature(graph),
+        "params": {
+            "levels": hierarchy.params.levels,
+            "alpha": hierarchy.params.alpha,
+            "beta": hierarchy.params.beta,
+            "stop_ratio": hierarchy.params.stop_ratio,
+        },
+        "data": hierarchy.to_payload(),
+    }
+    serialised = json.dumps(payload)
+
+    def write() -> None:
+        fault_point("oracle.cache.save")
+        file_path.parent.mkdir(parents=True, exist_ok=True)
+        scratch = file_path.with_name(file_path.name + ".tmp")
+        scratch.write_text(serialised)
+        scratch.replace(file_path)
+
+    retry_call(write, policy=CACHE_IO_POLICY)
+    return file_path

@@ -4,11 +4,11 @@ The registry is what makes backends swappable without touching any
 dispatcher code: ``SimulationConfig.oracle_backend`` (or the CLI's
 ``--oracle`` flag) names a backend, and :func:`configure_oracle` builds
 and attaches it to the workload's :class:`RoadNetwork` before the run
-starts.  Four backends are built in — ``lazy``, ``landmark``,
-``matrix`` and the contraction-hierarchy ``ch`` — and libraries
-embedding the reproduction can plug in their own (e.g. an
-osmnx/igraph-backed oracle for real map extracts) via
-:func:`register_oracle`.
+starts.  Five backends are built in — ``lazy``, ``landmark``,
+``matrix``, the contraction-hierarchy ``ch`` and the coarsening-based
+``overlay`` — and libraries embedding the reproduction can plug in
+their own (e.g. an osmnx/igraph-backed oracle for real map extracts)
+via :func:`register_oracle`.
 """
 
 from __future__ import annotations
@@ -134,10 +134,40 @@ def _make_ch(graph: nx.DiGraph, **options) -> CHOracle:
         seed=options.get("seed", 0),
         kernel=options.get("kernel", "auto"),
     )
+    order_strategy = options.get("contraction_order", "edge_difference")
+    variant = ""
+    if order_strategy != "edge_difference":
+        # Deferred import: coarsen imports the registry back (for the
+        # overlay's inner oracle), so a top-level import would cycle.
+        from ..coarsen import CONTRACTION_ORDERS, coarsening_contraction_order
+
+        if order_strategy not in CONTRACTION_ORDERS:
+            raise ConfigurationError(
+                f"unknown contraction_order {order_strategy!r}; "
+                f"available: {CONTRACTION_ORDERS}"
+            )
+        levels = options.get("coarsen_levels")
+        order_kwargs = {} if levels is None else {"levels": levels}
+        for name, key in (
+            ("alpha", "coarsen_alpha"),
+            ("beta", "coarsen_beta"),
+        ):
+            if options.get(key) is not None:
+                order_kwargs[name] = options[key]
+        # Computed eagerly even when the disk cache may hit: CHOracle
+        # ignores ``node_order`` when restoring from ``preprocessing``,
+        # and the cache file is keyed per order strategy (``variant``)
+        # so the two strategies never satisfy each other's loads.
+        kwargs["node_order"] = coarsening_contraction_order(
+            graph, **order_kwargs
+        )
+        variant = "co" if levels is None else f"co{levels}"
     cache_dir = options.get("cache_dir")
     if not cache_dir:
         fault_point("oracle.ch.build")
-        return CHOracle(graph, **kwargs)
+        oracle = CHOracle(graph, **kwargs)
+        oracle.contraction_order = order_strategy
+        return oracle
     # Disk-backed preprocessing: a warm cache directory lets this (and
     # every later) process skip the contraction pass entirely.  A stale
     # or corrupted payload yields a miss (rotten files are quarantined
@@ -147,7 +177,7 @@ def _make_ch(graph: nx.DiGraph, **options) -> CHOracle:
     from ...durability.locks import InterProcessLock, LockTimeout
     from .cache import ch_cache_path
 
-    path = ch_cache_path(cache_dir, graph, hop_limit)
+    path = ch_cache_path(cache_dir, graph, hop_limit, variant=variant)
     attempt = _CHCacheAttempt()
     # Fast path first, entirely lock-free: readers of a warm cache never
     # contend with each other (or with anyone) — the payload file is
@@ -199,6 +229,83 @@ def _make_ch(graph: nx.DiGraph, **options) -> CHOracle:
     oracle.cache_hit = attempt.cache_hit
     oracle.cache_lock_timed_out = attempt.lock_timed_out
     oracle.cache_lock_took_over_stale = attempt.lock_took_over_stale
+    oracle.contraction_order = order_strategy
+    return oracle
+
+
+def _make_overlay(graph: nx.DiGraph, **options) -> DistanceOracle:
+    """Coarsen (or load a cached hierarchy), then stand up the overlay.
+
+    The hierarchy persists in the same cache directory as the CH
+    preprocessing, keyed by the full graph's signature plus the
+    coarsening parameters; the inner coarse-graph oracle additionally
+    reuses the CH cache keyed by the *coarse* graph's signature, so a
+    warm directory makes overlay readiness almost free.
+    """
+    # Deferred import: the overlay builds its inner oracle through
+    # this registry, so a top-level import would be circular.
+    from ..coarsen import (
+        DEFAULT_ALPHA,
+        DEFAULT_BETA,
+        DEFAULT_ERROR_BOUND,
+        DEFAULT_LEVELS,
+        DEFAULT_STOP_RATIO,
+        CoarseningParams,
+        MultilevelCoarsener,
+        OverlayOracle,
+        coarsen_cache_path,
+        load_hierarchy,
+        save_hierarchy,
+    )
+
+    degradations: DegradationLog | None = options.get("degradations")
+    levels = options.get("coarsen_levels", DEFAULT_LEVELS)
+    alpha = options.get("coarsen_alpha", DEFAULT_ALPHA)
+    beta = options.get("coarsen_beta", DEFAULT_BETA)
+    params = CoarseningParams(
+        levels=levels, alpha=alpha, beta=beta, stop_ratio=DEFAULT_STOP_RATIO
+    )
+    cache_dir = options.get("cache_dir")
+    hierarchy = None
+    path = None
+    if cache_dir:
+        path = coarsen_cache_path(cache_dir, graph, params)
+        hierarchy = load_hierarchy(path, graph, params)
+    from_cache = hierarchy is not None
+    if hierarchy is None:
+        fault_point("oracle.coarsen.build")
+        hierarchy = MultilevelCoarsener(
+            graph,
+            levels=levels,
+            alpha=alpha,
+            beta=beta,
+            stop_ratio=DEFAULT_STOP_RATIO,
+        ).build()
+        if path is not None:
+            try:
+                save_hierarchy(path, hierarchy, graph)
+            except OSError as exc:
+                # Best effort, like the CH cache: a run never fails
+                # because its hierarchy could not be persisted.
+                if degradations is not None:
+                    degradations.record(
+                        "oracle.cache",
+                        "persist",
+                        "skip",
+                        f"coarsening cache save failed after retries: {exc}",
+                    )
+    oracle = OverlayOracle(
+        graph,
+        hierarchy=hierarchy,
+        error_bound=options.get("coarsen_error_bound", DEFAULT_ERROR_BOUND),
+        refine=options.get("coarsen_refine", False),
+        cache_size=options.get("cache_size"),
+        witness_hop_limit=options.get("witness_hop_limit"),
+        cache_dir=cache_dir,
+        kernel=options.get("kernel"),
+        seed=options.get("seed", 0),
+    )
+    oracle.hierarchy_from_cache = from_cache
     return oracle
 
 
@@ -207,6 +314,7 @@ ORACLE_BACKENDS: dict[str, OracleFactory] = {
     "landmark": _make_landmark,
     "matrix": _make_matrix,
     "ch": _make_ch,
+    "overlay": _make_overlay,
 }
 
 
@@ -234,6 +342,12 @@ def create_oracle(
     cache_dir: str | None = None,
     seed: int = 0,
     kernel: str | None = None,
+    coarsen_levels: int | None = None,
+    coarsen_alpha: float | None = None,
+    coarsen_beta: float | None = None,
+    coarsen_error_bound: float | None = None,
+    coarsen_refine: bool | None = None,
+    contraction_order: str | None = None,
     degradations: DegradationLog | None = None,
 ) -> DistanceOracle:
     """Instantiate a registered backend over ``graph``.
@@ -246,7 +360,11 @@ def create_oracle(
     the contraction-hierarchy backend's preprocessing; ``cache_dir``
     points the ``ch`` backend at an on-disk preprocessing cache keyed by
     a stable graph hash (see :mod:`repro.network.oracle.cache`), so warm
-    directories skip the contraction pass.  ``degradations`` is the
+    directories skip the contraction pass.  The ``coarsen_*`` options
+    shape the ``overlay`` backend's hierarchy and certified error bound
+    (``coarsen_levels``/``coarsen_alpha``/``coarsen_beta`` also shape
+    the ``ch`` backend's coarsening-derived order when
+    ``contraction_order="coarsening"``).  ``degradations`` is the
     run's :class:`~repro.resilience.degradation.DegradationLog`;
     factories record recoverable fallbacks (corrupt cache -> rebuild,
     failed save -> skip) into it.
@@ -270,6 +388,18 @@ def create_oracle(
         options["cache_dir"] = cache_dir
     if kernel is not None:
         options["kernel"] = kernel
+    if coarsen_levels is not None:
+        options["coarsen_levels"] = coarsen_levels
+    if coarsen_alpha is not None:
+        options["coarsen_alpha"] = coarsen_alpha
+    if coarsen_beta is not None:
+        options["coarsen_beta"] = coarsen_beta
+    if coarsen_error_bound is not None:
+        options["coarsen_error_bound"] = coarsen_error_bound
+    if coarsen_refine is not None:
+        options["coarsen_refine"] = coarsen_refine
+    if contraction_order is not None:
+        options["contraction_order"] = contraction_order
     if degradations is not None:
         options["degradations"] = degradations
     return factory(graph, **options)
@@ -334,6 +464,16 @@ def configure_oracle(
             cache_dir=config.oracle_cache_dir,
             seed=config.seed,
             kernel=getattr(config, "oracle_kernel", None),
+            coarsen_levels=getattr(config, "oracle_coarsen_levels", None),
+            coarsen_alpha=getattr(config, "oracle_coarsen_alpha", None),
+            coarsen_beta=getattr(config, "oracle_coarsen_beta", None),
+            coarsen_error_bound=getattr(
+                config, "oracle_coarsen_error_bound", None
+            ),
+            coarsen_refine=getattr(config, "oracle_coarsen_refine", None),
+            contraction_order=getattr(
+                config, "oracle_contraction_order", None
+            ),
             degradations=degradations,
         )
     except ConfigurationError:
@@ -378,7 +518,25 @@ def _options_match(oracle: DistanceOracle, config: "SimulationConfig") -> bool:
             oracle.witness_hop_limit == config.oracle_witness_hops
             and oracle.bucket_cache_size == config.oracle_cache_size
             and oracle.kernel == wanted_kernel
+            and getattr(oracle, "contraction_order", "edge_difference")
+            == getattr(config, "oracle_contraction_order", "edge_difference")
         )
     if isinstance(oracle, MatrixOracle):
         return oracle.kernel == wanted_kernel
+    from ..coarsen.overlay import OverlayOracle
+
+    if isinstance(oracle, OverlayOracle):
+        return (
+            oracle.coarsen_levels
+            == getattr(config, "oracle_coarsen_levels", oracle.coarsen_levels)
+            and oracle.coarsen_alpha
+            == getattr(config, "oracle_coarsen_alpha", oracle.coarsen_alpha)
+            and oracle.coarsen_beta
+            == getattr(config, "oracle_coarsen_beta", oracle.coarsen_beta)
+            and oracle.error_bound
+            == getattr(config, "oracle_coarsen_error_bound", oracle.error_bound)
+            and oracle.refine_mode
+            == getattr(config, "oracle_coarsen_refine", oracle.refine_mode)
+            and oracle.kernel == wanted_kernel
+        )
     return True

@@ -89,6 +89,46 @@ def test_candidate_without_numpy_skips_the_csr_comparison():
     assert all("csr" not in note for note in notes)
 
 
+def test_candidate_without_direct_contraction_skips_the_coarsen_ratio():
+    """A fresh run that skipped the direct CH side must skip, not fail.
+
+    The committed baseline carries the full >=100k-node measurement
+    (applicable, met); default CI runs skip the tens-of-minutes direct
+    contraction and record ``applicable: false`` — the gate must route
+    both the ratio and the acceptance bar to skips with reasons.
+    """
+    baseline = _trajectory()
+    baseline["coarsen"] = {"speedup": 40.0, "applicable": True}
+    baseline["acceptance"]["coarsen_readiness_speedup"] = {
+        "value": 40.0,
+        "threshold": 10.0,
+        "met": True,
+        "applicable": True,
+    }
+    candidate = _trajectory()
+    candidate["coarsen"] = {"speedup": 0.0, "applicable": False}
+    candidate["acceptance"]["coarsen_readiness_speedup"] = {
+        "value": 0.0,
+        "threshold": 10.0,
+        "met": False,
+        "applicable": False,
+    }
+    failures, skips, notes = check_regression.compare(baseline, candidate, 0.3)
+    assert failures == []
+    assert any("REPRO_BENCH_COARSEN_FULL" in skip for skip in skips)
+    assert any("coarsen_readiness_speedup" in skip for skip in skips)
+    assert all("coarsen" not in note for note in notes)
+
+
+def test_degraded_coarsen_ratio_fails_when_both_sides_measured():
+    baseline = _trajectory()
+    baseline["coarsen"] = {"speedup": 40.0, "applicable": True}
+    candidate = _trajectory()
+    candidate["coarsen"] = {"speedup": 12.0, "applicable": True}
+    failures, _, _ = check_regression.compare(baseline, candidate, 0.3)
+    assert any("coarsen.readiness_speedup" in failure for failure in failures)
+
+
 def test_cpu_count_mismatch_skips_the_shard_comparison():
     failures, skips, _ = check_regression.compare(
         _trajectory(cpus=4), _trajectory(cpus=1, shard_speedup=0.6), 0.3

@@ -31,7 +31,13 @@ _FAST_ALGOS = ("WATTER-online", "WATTER-timeout", "NonSharing")
 
 class TestExperimentConfig:
     def test_dataset_defaults_cover_all_datasets(self):
-        assert set(DATASET_DEFAULTS) == {"NYC", "CDC", "XIA"}
+        assert set(DATASET_DEFAULTS) == {
+            "NYC", "CDC", "XIA", "LARGE", "LARGE-SYNTHETIC"
+        }
+
+    def test_large_defaults_mirror_cdc(self):
+        assert DATASET_DEFAULTS["LARGE"] == DATASET_DEFAULTS["CDC"]
+        assert DATASET_DEFAULTS["LARGE-SYNTHETIC"] == DATASET_DEFAULTS["CDC"]
 
     def test_default_config_uses_table3_values(self):
         config = default_config("CDC")
